@@ -1,0 +1,72 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* optimiser on/off — selection pushing shrinks hash-join inputs;
+* memoisation on/off — shared subexpressions (query Q's inner star
+  appears once, but generated DAGs repeat subtrees);
+* semi-naive vs paper-naive fixpoints — the cost of Procedure 2's full
+  re-join, isolated from the join algorithm (both sides use hash joins).
+"""
+
+import pytest
+
+from repro.core import HashJoinEngine, NaiveEngine, R, Union, evaluate, join, select, star
+from repro.core.optimizer import optimize
+from repro.workloads import chain_store, random_store
+
+ENGINE = HashJoinEngine()
+
+#: A query shaped to benefit from pushing: selection over a wide join.
+PUSHABLE = select(
+    join(R("E"), R("E"), "1,2,3'", "rho(1)=rho(1')"),
+    "2='l0'",
+)
+
+
+@pytest.mark.parametrize("optimized", [False, True], ids=["raw", "optimized"])
+def test_selection_pushing(benchmark, optimized):
+    store = random_store(40, 900, seed=5)
+    expr = optimize(PUSHABLE) if optimized else PUSHABLE
+    result = benchmark(lambda: evaluate(expr, store, ENGINE))
+    assert result == evaluate(PUSHABLE, store, ENGINE)
+
+
+def _shared_subtree_query():
+    base = join(R("E"), R("E"), "1,2,3'", "3=1'")
+    layered = base
+    for _ in range(4):
+        layered = Union(join(layered, base, "1,2,3'", "3=1'"), base)
+    return layered
+
+
+def test_memoised_dag(benchmark):
+    """The hash engine evaluates each distinct subtree once."""
+    store = random_store(30, 400, seed=11)
+    expr = _shared_subtree_query()
+    result = benchmark(lambda: evaluate(expr, store, ENGINE))
+    assert result
+
+
+def test_unmemoised_dag_baseline(benchmark):
+    """The naive engine re-evaluates shared subtrees — the ablation."""
+    store = random_store(18, 120, seed=11)
+    expr = _shared_subtree_query()
+    result = benchmark(lambda: evaluate(expr, store, NaiveEngine()))
+    assert result
+
+
+REACH = star(R("E"), "1,2,3'", "3=1'")
+
+
+@pytest.mark.parametrize("n", [40, 80])
+def test_semi_naive_fixpoint(benchmark, n):
+    store = chain_store(n)
+    result = benchmark(lambda: evaluate(REACH, store, ENGINE))
+    assert len(result) == n * (n + 1) // 2
+
+
+@pytest.mark.parametrize("n", [40, 80])
+def test_full_rejoin_fixpoint(benchmark, n):
+    """Procedure 2's re-join of the whole accumulator each round."""
+    store = chain_store(n)
+    result = benchmark(lambda: evaluate(REACH, store, NaiveEngine()))
+    assert len(result) == n * (n + 1) // 2

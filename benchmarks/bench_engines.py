@@ -1,0 +1,61 @@
+"""Engine shoot-out on a common workload mix (the substitution study).
+
+DESIGN.md frames the three engines as competing backends for the
+paper's future-work question ("can existing systems implement this
+recursion efficiently?").  This benchmark runs one mixed workload —
+selections, joins with η-conditions, a reach star and a complement —
+through every engine.
+"""
+
+import pytest
+
+from repro.core import (
+    FastEngine,
+    HashJoinEngine,
+    NaiveEngine,
+    R,
+    complement,
+    evaluate,
+    join,
+    select,
+    star,
+)
+from repro.workloads import random_store
+
+WORKLOAD = [
+    select(R("E"), "2='l0' & rho(1)=rho(3)"),
+    join(R("E"), R("E"), "1,2,3'", "3=1' & rho(2)=rho(2')"),
+    star(R("E"), "1,2,3'", "3=1'"),
+    join(R("E"), R("E"), "1,1',3", "1!=1'"),
+]
+
+ENGINES = {
+    "naive-theorem3": NaiveEngine(),
+    "hash-join": HashJoinEngine(),
+    "fast-prop5": FastEngine(),
+}
+
+
+@pytest.mark.parametrize("engine_name", list(ENGINES))
+def test_mixed_workload(benchmark, engine_name):
+    engine = ENGINES[engine_name]
+    store = random_store(40, 500, seed=17)
+
+    def run():
+        return [evaluate(expr, store, engine) for expr in WORKLOAD]
+
+    results = benchmark(run)
+    reference = [evaluate(expr, store, HashJoinEngine()) for expr in WORKLOAD]
+    assert results == reference
+
+
+@pytest.mark.parametrize("engine_name", ["hash-join", "fast-prop5"])
+def test_complement_workload(benchmark, engine_name):
+    """U-based complement (cubic) — naive engine excluded by size."""
+    engine = ENGINES[engine_name]
+    store = random_store(15, 120, seed=3)
+    expr = complement(R("E"))
+    result = benchmark(lambda: evaluate(expr, store, engine))
+    assert len(result) == len(engine.active_domain(store)) ** 3 - len(
+        store.relation("E")
+    )

@@ -1,0 +1,82 @@
+"""E13 — Theorem 7 / Corollary 2 in the running: graph languages natively
+vs through their TriAL* translations.
+
+The paper claims subsumption, not speed — the translations pay for
+generality (N/NP materialisation).  The benchmark quantifies that
+constant: native GXPath/NRE/RPQ evaluation vs the translated TriAL*
+expression on the same graphs, with outputs asserted equal.
+"""
+
+import pytest
+
+from repro.core import HashJoinEngine, evaluate, project13
+from repro.graphdb import (
+    Axis,
+    Concat,
+    PathComplement,
+    StarPath,
+    evaluate_gxpath,
+    evaluate_nre,
+    evaluate_rpq,
+    parse_nre,
+)
+from repro.translations import gxpath_to_trial, nre_to_trial, rpq_to_trial
+from repro.workloads import random_graph
+
+ENGINE = HashJoinEngine()
+
+GXPATH_EXPR = Concat(StarPath(Axis("a")), PathComplement(Axis("b")))
+NRE_EXPR = parse_nre("a.[b].(a+b)*")
+RPQ_TEXT = "(a+b)*.a"
+
+
+def _graph(n):
+    return random_graph(n, n * 3, seed=n)
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_gxpath_native(benchmark, n):
+    g = _graph(n)
+    result = benchmark(lambda: evaluate_gxpath(g, GXPATH_EXPR))
+    assert result is not None
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_gxpath_via_trial(benchmark, n):
+    g = _graph(n)
+    t = g.to_triplestore()
+    expr = gxpath_to_trial(GXPATH_EXPR)
+    result = benchmark(lambda: project13(evaluate(expr, t, HashJoinEngine())))
+    assert result == evaluate_gxpath(g, GXPATH_EXPR)
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_nre_native(benchmark, n):
+    g = _graph(n)
+    result = benchmark(lambda: evaluate_nre(g, NRE_EXPR))
+    assert result is not None
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_nre_via_trial(benchmark, n):
+    g = _graph(n)
+    t = g.to_triplestore()
+    expr = nre_to_trial(NRE_EXPR)
+    result = benchmark(lambda: project13(evaluate(expr, t, HashJoinEngine())))
+    assert result == evaluate_nre(g, NRE_EXPR)
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_rpq_native(benchmark, n):
+    g = _graph(n)
+    result = benchmark(lambda: evaluate_rpq(g, RPQ_TEXT))
+    assert result is not None
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_rpq_via_trial(benchmark, n):
+    g = _graph(n)
+    t = g.to_triplestore()
+    expr = rpq_to_trial(RPQ_TEXT)
+    result = benchmark(lambda: project13(evaluate(expr, t, HashJoinEngine())))
+    assert result == evaluate_rpq(g, RPQ_TEXT)

@@ -1,0 +1,63 @@
+"""The §7 n-ary algebra: cost of generality across arities.
+
+Three measurements:
+
+* the k = 2 transitive closure vs the triple algebra's reach star on
+  the same underlying chain (binary data is strictly cheaper — fewer
+  positions hashed per tuple);
+* the k = 3 n-ary engine vs the TriAL HashJoinEngine on identical
+  queries (the n-ary engine is arity-generic, so this prices the
+  abstraction);
+* join cost growth as arity rises at fixed tuple count.
+"""
+
+import pytest
+
+from repro.core import HashJoinEngine, R, evaluate, star
+from repro.nary import NCond, NJoin, NRel, NStar, NaryEngine, NaryStore, transitive_closure
+from repro.workloads import chain_store
+
+NARY = NaryEngine()
+TRIAL = HashJoinEngine()
+
+
+def _binary_chain(n: int) -> NaryStore:
+    return NaryStore(2, {"R": [(f"o{i}", f"o{i+1}") for i in range(n)]})
+
+
+@pytest.mark.parametrize("n", [50, 100])
+def test_binary_transitive_closure(benchmark, n):
+    store = _binary_chain(n)
+    expr = transitive_closure(NRel("R", 2))
+    result = benchmark(lambda: NARY.evaluate(expr, store))
+    assert len(result) == n * (n + 1) // 2
+
+
+@pytest.mark.parametrize("n", [50, 100])
+def test_ternary_reach_star_nary(benchmark, n):
+    store = NaryStore.from_triplestore(chain_store(n))
+    expr = NStar(NRel("E", 3), (0, 1, 5), (NCond(2, 3),), "right")
+    result = benchmark(lambda: NARY.evaluate(expr, store))
+    assert len(result) == n * (n + 1) // 2
+
+
+@pytest.mark.parametrize("n", [50, 100])
+def test_ternary_reach_star_trial(benchmark, n):
+    store = chain_store(n)
+    expr = star(R("E"), "1,2,3'", "3=1'")
+    result = benchmark(lambda: evaluate(expr, store, TRIAL))
+    assert len(result) == n * (n + 1) // 2
+
+
+@pytest.mark.parametrize("arity", [2, 3, 4, 5])
+def test_join_cost_by_arity(benchmark, arity):
+    """Composition-style join at growing arity, 300 tuples each."""
+    rows = [
+        tuple([f"o{i}"] + [f"m{i}_{j}" for j in range(arity - 2)] + [f"o{i+1}"])
+        for i in range(300)
+    ]
+    store = NaryStore(arity, {"R": rows})
+    out = tuple(list(range(arity - 1)) + [2 * arity - 1])
+    expr = NJoin(NRel("R", arity), NRel("R", arity), out, (NCond(arity - 1, arity),))
+    result = benchmark(lambda: NARY.evaluate(expr, store))
+    assert len(result) == 299

@@ -1,0 +1,82 @@
+"""E1/E4–E6: the paper's worked queries on Figure 1 and scaled variants.
+
+Regenerates (as timed runs with verified outputs):
+* Example 2's join and its extension e′;
+* Example 3's left/right Kleene closures;
+* Example 4's Reach→/Reach⤓;
+* query Q on Figure 1 and on transport networks of growing size.
+"""
+
+import pytest
+
+from repro.core import (
+    HashJoinEngine,
+    evaluate,
+    example2_expr,
+    example2_extended,
+    example3_left,
+    example3_right,
+    query_q,
+    reach_down,
+    reach_forward,
+)
+from repro.rdf.datasets import (
+    EXAMPLE2_EXPECTED,
+    EXAMPLE3_LEFT_EXPECTED,
+    EXAMPLE3_RIGHT_EXPECTED,
+    example3_store,
+    figure1,
+)
+from repro.workloads import transport_network
+
+ENGINE = HashJoinEngine()
+FIG1 = figure1()
+EX3 = example3_store()
+
+
+def test_example2_join(benchmark):
+    result = benchmark(lambda: evaluate(example2_expr(), FIG1, ENGINE))
+    assert result == EXAMPLE2_EXPECTED
+
+
+def test_example2_extended(benchmark):
+    result = benchmark(lambda: evaluate(example2_extended(), FIG1, ENGINE))
+    assert len(result) == 4
+
+
+def test_example3_right_star(benchmark):
+    result = benchmark(lambda: evaluate(example3_right(), EX3, ENGINE))
+    assert result == EXAMPLE3_RIGHT_EXPECTED
+
+
+def test_example3_left_star(benchmark):
+    result = benchmark(lambda: evaluate(example3_left(), EX3, ENGINE))
+    assert result == EXAMPLE3_LEFT_EXPECTED
+
+
+def test_reach_forward(benchmark):
+    result = benchmark(lambda: evaluate(reach_forward(), FIG1, ENGINE))
+    assert ("St. Andrews", "Bus Op 1", "London") in result
+
+
+def test_reach_down(benchmark):
+    result = benchmark(lambda: evaluate(reach_down(), FIG1, ENGINE))
+    assert result  # nonempty on Figure 1
+
+
+def test_query_q_figure1(benchmark):
+    result = benchmark(lambda: evaluate(query_q(), FIG1, ENGINE))
+    assert ("Edinburgh", "Train Op 1", "London") in result
+
+
+@pytest.mark.parametrize("n_cities", [20, 60, 120])
+def test_query_q_scaled(benchmark, n_cities):
+    store = transport_network(
+        n_cities=n_cities,
+        n_services=max(2, n_cities // 5),
+        n_companies=3,
+        extra_routes=n_cities // 2,
+        seed=n_cities,
+    )
+    result = benchmark(lambda: evaluate(query_q(), store, ENGINE))
+    assert result

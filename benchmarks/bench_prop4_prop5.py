@@ -1,0 +1,64 @@
+"""E8/E9 — Propositions 4 and 5: the O(|e|·|O|·|T|) fragment algorithms.
+
+Two comparisons, each a sweep over |T|:
+
+* equality-only joins: HashJoinEngine (hash keyed on the equality, the
+  Prop 4 regime) vs the NaiveEngine's unconditional pairwise loop;
+* the two reach stars: FastEngine's per-source BFS (Procedures 3–4)
+  vs the generic semi-naive fixpoint vs the naive full-re-join fixpoint.
+
+The paper's claim to reproduce: the fragment algorithms' advantage
+*grows* with size — they are asymptotically, not just constant-factor,
+faster.
+"""
+
+import pytest
+
+from repro.core import FastEngine, HashJoinEngine, NaiveEngine, R, evaluate, join, star
+from repro.workloads import chain_store, random_store
+
+EQ_JOIN = join(R("E"), R("E"), "1,2,3'", "3=1'")
+REACH_ANY = star(R("E"), "1,2,3'", "3=1'")
+REACH_LABEL = star(R("E"), "1,2,3'", "3=1' & 2=2'")
+
+FAST = FastEngine()
+HASH = HashJoinEngine()
+NAIVE = NaiveEngine()
+
+
+@pytest.mark.parametrize("n_triples", [200, 400, 800])
+@pytest.mark.parametrize(
+    "engine", [HASH, NAIVE], ids=["prop4-hash", "theorem3-naive"]
+)
+def test_equality_join(benchmark, engine, n_triples):
+    store = random_store(n_triples // 10, n_triples, seed=n_triples)
+    result = benchmark(lambda: evaluate(EQ_JOIN, store, engine))
+    assert result is not None
+
+
+@pytest.mark.parametrize("n", [60, 120, 240])
+@pytest.mark.parametrize(
+    "engine", [FAST, HASH], ids=["prop5-bfs", "generic-fixpoint"]
+)
+def test_reach_any_star(benchmark, engine, n):
+    store = chain_store(n)
+    result = benchmark(lambda: evaluate(REACH_ANY, store, engine))
+    assert len(result) == n * (n + 1) // 2
+
+
+@pytest.mark.parametrize("n", [60, 120, 240])
+@pytest.mark.parametrize(
+    "engine", [FAST, HASH], ids=["prop5-bfs", "generic-fixpoint"]
+)
+def test_reach_same_label_star(benchmark, engine, n):
+    store = chain_store(n, label_cycle=3)
+    result = benchmark(lambda: evaluate(REACH_LABEL, store, engine))
+    assert result is not None
+
+
+@pytest.mark.parametrize("n", [40, 80])
+def test_naive_star_baseline(benchmark, n):
+    """The Theorem 3 fixpoint on the same chains, for the crossover plot."""
+    store = chain_store(n)
+    result = benchmark(lambda: evaluate(REACH_ANY, store, NAIVE))
+    assert len(result) == n * (n + 1) // 2

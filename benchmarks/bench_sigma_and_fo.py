@@ -1,0 +1,58 @@
+"""E2/E11 — σ-encoding costs and the FO translations in the running.
+
+* σ(D): encoding a document and answering an NRE over it, vs answering
+  the equivalent navigation natively on triples (nSPARQL semantics) —
+  both answers asserted equal (they must be: Theorem 1's footnote).
+* TriAL → FO⁶: translating and evaluating the formula with the
+  bottom-up FO evaluator vs evaluating the algebra directly.
+"""
+
+import pytest
+
+from repro.core import HashJoinEngine, evaluate, example2_expr
+from repro.graphdb import evaluate_nre, parse_nre
+from repro.logic import answers
+from repro.rdf import RDFGraph, evaluate_nsparql_nre, sigma
+from repro.translations import trial_to_fo
+from repro.workloads import transport_network
+
+NRE = parse_nre("next.[edge.next].next*")
+
+
+def _doc(n_cities: int) -> RDFGraph:
+    store = transport_network(
+        n_cities=n_cities, n_services=4, n_companies=2, seed=n_cities
+    )
+    return RDFGraph(store.relation("E"))
+
+
+@pytest.mark.parametrize("n", [20, 60])
+def test_sigma_encoding(benchmark, n):
+    doc = _doc(n)
+    graph = benchmark(lambda: sigma(doc))
+    assert len(graph.edges) <= 3 * len(doc)
+
+
+@pytest.mark.parametrize("n", [20, 60])
+def test_nre_over_sigma(benchmark, n):
+    doc = _doc(n)
+    graph = sigma(doc)
+    result = benchmark(lambda: evaluate_nre(graph, NRE))
+    assert result == evaluate_nsparql_nre(doc, NRE)
+
+
+@pytest.mark.parametrize("n", [20, 60])
+def test_nsparql_native(benchmark, n):
+    doc = _doc(n)
+    result = benchmark(lambda: evaluate_nsparql_nre(doc, NRE))
+    assert result is not None
+
+
+@pytest.mark.parametrize("n", [6, 10])
+def test_fo6_translation_evaluation(benchmark, n):
+    """Theorem 4.1 in the running: answers(ϕ_e) == e(T)."""
+    store = transport_network(n_cities=n, n_services=2, n_companies=2, seed=n)
+    phi = trial_to_fo(example2_expr())
+    direct = evaluate(example2_expr(), store, HashJoinEngine())
+    result = benchmark(lambda: answers(phi, store, ("v1", "v2", "v3")))
+    assert result == direct

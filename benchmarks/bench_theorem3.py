@@ -1,0 +1,47 @@
+"""E7 — Theorem 3: TriAL joins in O(|e|·|T|²), TriAL* in O(|e|·|T|³).
+
+The sweep times the paper-faithful NaiveEngine (Procedure 1 joins,
+Procedure 2 full-re-join stars) on random stores of growing |T| and on
+chains (the star's worst-ish case).  The shape to reproduce: join cost
+grows ~quadratically with |T|, star cost clearly faster than the join's,
+and both scale linearly in expression size |e|.
+"""
+
+import pytest
+
+from repro.core import NaiveEngine, R, evaluate, join, star, union_all
+from repro.workloads import chain_store, random_store
+
+ENGINE = NaiveEngine()
+JOIN = join(R("E"), R("E"), "1,2,3'", "3=1'")
+STAR = star(R("E"), "1,2,3'", "3=1'")
+
+
+@pytest.mark.parametrize("n_triples", [100, 200, 400, 800])
+def test_naive_join_sweep(benchmark, n_triples):
+    """Procedure 1 over growing |T| (slope ≈ 2 expected)."""
+    store = random_store(max(8, n_triples // 12), n_triples, seed=n_triples)
+    result = benchmark(lambda: evaluate(JOIN, store, ENGINE))
+    assert result is not None
+
+
+@pytest.mark.parametrize("n", [16, 32, 64])
+def test_naive_star_sweep(benchmark, n):
+    """Procedure 2 on a chain (quadratic output forces many rounds)."""
+    store = chain_store(n)
+    result = benchmark(lambda: evaluate(STAR, store, ENGINE))
+    assert len(result) == n * (n + 1) // 2
+
+
+@pytest.mark.parametrize("width", [1, 2, 4, 8])
+def test_expression_size_linearity(benchmark, width):
+    """|e|-linearity: a union of `width` copies of the same join."""
+    store = random_store(20, 300, seed=9)
+    # Distinct selects prevent memoisation from collapsing the copies.
+    exprs = [
+        join(R("E"), R("E"), "1,2,3'", f"3=1' & 1!='nonexistent{i}'")
+        for i in range(width)
+    ]
+    expr = union_all(exprs)
+    result = benchmark(lambda: evaluate(expr, store, ENGINE))
+    assert result is not None

@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration: make the in-tree package importable."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"))

@@ -1,0 +1,96 @@
+"""repro — a full reproduction of *TriAL for RDF* (Libkin, Reutter,
+Vrgoč; PODS 2013).
+
+The package implements the paper's Triple Algebra (TriAL) and its
+recursive extension TriAL* over triplestores, the Datalog fragments
+capturing them, three evaluation engines matching the paper's complexity
+analysis, and every comparison language of Sections 2 and 6 (RPQs, NREs,
+GXPath(∼), CNREs, FOᵏ, TrCl, nSPARQL-style navigation, register
+automata), plus the σ graph encoding of RDF and all of the paper's
+worked examples as datasets.
+
+Quickstart::
+
+    from repro import Triplestore, evaluate, query_q, project13
+    from repro.rdf import figure1
+
+    pairs = project13(evaluate(query_q(), figure1()))
+    ("Edinburgh", "London") in pairs   # True
+    ("St. Andrews", "Brussels") in pairs   # False — needs two companies
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    Cond,
+    Const,
+    Diff,
+    Engine,
+    Expr,
+    FastEngine,
+    HashJoinEngine,
+    Intersect,
+    Join,
+    NaiveEngine,
+    Pos,
+    R,
+    Rel,
+    Select,
+    Star,
+    Union,
+    Universe,
+    complement,
+    evaluate,
+    example2_expr,
+    example2_extended,
+    join,
+    lstar,
+    parse,
+    project13,
+    query_q,
+    reach_down,
+    reach_forward,
+    select,
+    star,
+)
+from repro.errors import ReproError
+from repro.triplestore import Triplestore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cond",
+    "Const",
+    "Diff",
+    "Engine",
+    "Expr",
+    "FastEngine",
+    "HashJoinEngine",
+    "Intersect",
+    "Join",
+    "NaiveEngine",
+    "Pos",
+    "R",
+    "Rel",
+    "ReproError",
+    "Select",
+    "Star",
+    "Triplestore",
+    "Union",
+    "Universe",
+    "__version__",
+    "complement",
+    "evaluate",
+    "example2_expr",
+    "example2_extended",
+    "join",
+    "lstar",
+    "parse",
+    "project13",
+    "query_q",
+    "reach_down",
+    "reach_forward",
+    "select",
+    "star",
+]

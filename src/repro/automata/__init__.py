@@ -1,0 +1,54 @@
+"""Automata substrate: regexes, Thompson NFAs, register automata."""
+
+from repro.automata.memory import (
+    RegCond,
+    RegisterNFA,
+    Rem,
+    RemAlt,
+    RemConcat,
+    RemEps,
+    RemLetter,
+    RemStar,
+    RemStore,
+    compile_rem,
+    distinct_values_expr,
+    evaluate_rem,
+)
+from repro.automata.nfa import EPS, NFA, compile_regex, product_reachable_pairs
+from repro.automata.regex import (
+    Alt,
+    Concat,
+    Epsilon,
+    Inverse,
+    Label,
+    Regex,
+    Star,
+    parse_regex,
+)
+
+__all__ = [
+    "Alt",
+    "Concat",
+    "EPS",
+    "Epsilon",
+    "Inverse",
+    "Label",
+    "NFA",
+    "RegCond",
+    "RegisterNFA",
+    "Regex",
+    "Rem",
+    "RemAlt",
+    "RemConcat",
+    "RemEps",
+    "RemLetter",
+    "RemStar",
+    "RemStore",
+    "Star",
+    "compile_regex",
+    "compile_rem",
+    "distinct_values_expr",
+    "evaluate_rem",
+    "parse_regex",
+    "product_reachable_pairs",
+]

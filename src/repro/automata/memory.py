@@ -1,0 +1,249 @@
+"""Regular expressions with memory (register automata), Proposition 6.
+
+The paper compares TriAL* with register automata over data paths,
+citing [26] (Libkin & Vrgoč, *Regular path queries on graphs with
+data*).  A *regular expression with memory* (REM) walks a data graph
+while storing data values in registers and testing later values against
+them.  The paper's separating family is::
+
+    e₂   := ↓x₁ . a[x₁≠] . ↓x₂
+    eₙ₊₁ := eₙ . a[x₁≠ ∧ … ∧ xₙ≠] . ↓xₙ₊₁
+
+whose answer is nonempty iff the graph contains a path of n nodes with
+pairwise distinct data values — hence (on a complete a-labelled graph
+with distinct values) iff the graph has at least n elements, a property
+beyond L⁶∞ω and therefore beyond TriAL*.
+
+We implement REMs compositionally: expressions compile to register
+NFAs, evaluated by BFS over (node, state, register valuation)
+configurations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class RegCond:
+    """One register test: the current data value ``=``/``!=`` register ``x``."""
+
+    register: str
+    equal: bool
+
+    def __repr__(self) -> str:
+        return f"{self.register}{'=' if self.equal else '≠'}"
+
+
+class Rem:
+    """Base class of regular expressions with memory."""
+
+    __slots__ = ()
+
+    def then(self, other: "Rem") -> "RemConcat":
+        return RemConcat(self, other)
+
+
+@dataclass(frozen=True, repr=False)
+class RemEps(Rem):
+    def __repr__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True, repr=False)
+class RemStore(Rem):
+    """``↓x`` — store the *current node's* data value in register x."""
+
+    register: str
+
+    def __repr__(self) -> str:
+        return f"↓{self.register}"
+
+
+@dataclass(frozen=True, repr=False)
+class RemLetter(Rem):
+    """``a[c]`` — traverse an a-edge, then test the target's data value."""
+
+    label: str
+    conditions: tuple[RegCond, ...] = ()
+
+    def __repr__(self) -> str:
+        conds = "∧".join(map(repr, self.conditions))
+        return f"{self.label}[{conds}]" if conds else self.label
+
+
+@dataclass(frozen=True, repr=False)
+class RemConcat(Rem):
+    left: Rem
+    right: Rem
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}·{self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class RemAlt(Rem):
+    left: Rem
+    right: Rem
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}+{self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class RemStar(Rem):
+    inner: Rem
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r}*"
+
+
+def distinct_values_expr(n: int, label: str = "a") -> Rem:
+    """The paper's eₙ: a path of n nodes with pairwise distinct values."""
+    if n < 2:
+        raise GraphError("the family e_n is defined for n >= 2")
+    expr: Rem = RemConcat(
+        RemStore("x1"),
+        RemConcat(RemLetter(label, (RegCond("x1", False),)), RemStore("x2")),
+    )
+    for k in range(3, n + 1):
+        conds = tuple(RegCond(f"x{i}", False) for i in range(1, k))
+        expr = RemConcat(
+            expr, RemConcat(RemLetter(label, conds), RemStore(f"x{k}"))
+        )
+    return expr
+
+
+# --------------------------------------------------------------------- #
+# Compilation to a register NFA
+# --------------------------------------------------------------------- #
+
+#: Transition actions: ("eps",), ("store", x), ("letter", label, conds)
+_Action = tuple
+
+
+@dataclass
+class RegisterNFA:
+    start: int
+    accept: int
+    transitions: dict[int, list[tuple[_Action, int]]] = field(default_factory=dict)
+
+
+class _RemBuilder:
+    def __init__(self) -> None:
+        self.transitions: dict[int, list[tuple[_Action, int]]] = {}
+        self.counter = itertools.count()
+
+    def state(self) -> int:
+        return next(self.counter)
+
+    def edge(self, src: int, action: _Action, dst: int) -> None:
+        self.transitions.setdefault(src, []).append((action, dst))
+
+    def build(self, node: Rem) -> tuple[int, int]:
+        if isinstance(node, RemEps):
+            s, t = self.state(), self.state()
+            self.edge(s, ("eps",), t)
+            return s, t
+        if isinstance(node, RemStore):
+            s, t = self.state(), self.state()
+            self.edge(s, ("store", node.register), t)
+            return s, t
+        if isinstance(node, RemLetter):
+            s, t = self.state(), self.state()
+            self.edge(s, ("letter", node.label, node.conditions), t)
+            return s, t
+        if isinstance(node, RemConcat):
+            s1, t1 = self.build(node.left)
+            s2, t2 = self.build(node.right)
+            self.edge(t1, ("eps",), s2)
+            return s1, t2
+        if isinstance(node, RemAlt):
+            s, t = self.state(), self.state()
+            for part in (node.left, node.right):
+                ps, pt = self.build(part)
+                self.edge(s, ("eps",), ps)
+                self.edge(pt, ("eps",), t)
+            return s, t
+        if isinstance(node, RemStar):
+            s, t = self.state(), self.state()
+            ps, pt = self.build(node.inner)
+            self.edge(s, ("eps",), ps)
+            self.edge(s, ("eps",), t)
+            self.edge(pt, ("eps",), ps)
+            self.edge(pt, ("eps",), t)
+            return s, t
+        raise TypeError(f"unknown REM node {type(node).__name__}")
+
+
+def compile_rem(expr: Rem) -> RegisterNFA:
+    """Compile a REM to a register NFA (Thompson-style)."""
+    builder = _RemBuilder()
+    start, accept = builder.build(expr)
+    return RegisterNFA(start, accept, builder.transitions)
+
+
+def evaluate_rem(
+    expr: Rem,
+    edges: Iterable[tuple[Any, str, Any]],
+    rho: dict[Any, Any],
+) -> frozenset[tuple[Any, Any]]:
+    """All pairs (u, v) linked by a data path matching ``expr``.
+
+    ``edges`` are labelled graph edges; ``rho`` maps nodes to data
+    values.  Configurations are (node, NFA state, register valuation);
+    the search is a plain BFS, exponential only in the number of
+    registers actually distinguished (fine for the paper's witnesses).
+    """
+    nfa = compile_rem(expr)
+    forward: dict[tuple[Any, str], set] = {}
+    nodes: set = set()
+    for u, label, v in edges:
+        forward.setdefault((u, label), set()).add(v)
+        nodes.add(u)
+        nodes.add(v)
+
+    result: set[tuple[Any, Any]] = set()
+    for source in nodes:
+        initial = (source, nfa.start, ())
+        seen = {initial}
+        queue = deque([initial])
+        while queue:
+            node, state, valuation = queue.popleft()
+            if state == nfa.accept:
+                result.add((source, node))
+            for action, target in nfa.transitions.get(state, ()):
+                kind = action[0]
+                if kind == "eps":
+                    candidates = [(node, target, valuation)]
+                elif kind == "store":
+                    val = dict(valuation)
+                    val[action[1]] = rho.get(node)
+                    candidates = [(node, target, tuple(sorted(val.items())))]
+                else:  # letter
+                    _, label, conditions = action
+                    val = dict(valuation)
+                    candidates = []
+                    for nxt in forward.get((node, label), ()):
+                        data = rho.get(nxt)
+                        ok = True
+                        for cond in conditions:
+                            if cond.register not in val:
+                                ok = False
+                                break
+                            stored = val[cond.register]
+                            if (stored == data) != cond.equal:
+                                ok = False
+                                break
+                        if ok:
+                            candidates.append((nxt, target, valuation))
+                for conf in candidates:
+                    if conf not in seen:
+                        seen.add(conf)
+                        queue.append(conf)
+    return frozenset(result)

@@ -1,0 +1,180 @@
+"""Nondeterministic finite automata via Thompson's construction.
+
+The NFA alphabet consists of *directed symbols* ``(label, forward)`` so
+that the same machinery evaluates 2RPQs (regular path queries with
+inverses): a graph edge ``(u, a, v)`` can be traversed forward under
+symbol ``(a, True)`` and backward under ``(a, False)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.automata.regex import Alt, Concat, Epsilon, Inverse, Label, Regex, Star
+
+#: An NFA input symbol: (edge label, traversed forward?).
+Symbol = tuple[str, bool]
+
+EPS = None  # ε-transition marker
+
+
+@dataclass
+class NFA:
+    """An ε-NFA with a single start state and explicit accepting set."""
+
+    start: int
+    accepting: frozenset[int]
+    transitions: dict[int, list[tuple[Symbol | None, int]]] = field(default_factory=dict)
+    n_states: int = 0
+
+    def symbols_from(self, state: int) -> list[tuple[Symbol | None, int]]:
+        return self.transitions.get(state, [])
+
+    def epsilon_closure(self, states: set[int]) -> frozenset[int]:
+        """All states reachable via ε-transitions."""
+        seen = set(states)
+        stack = list(states)
+        while stack:
+            s = stack.pop()
+            for symbol, target in self.symbols_from(s):
+                if symbol is EPS and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+    def move(self, states: frozenset[int], symbol: Symbol) -> frozenset[int]:
+        """One symbol step followed by ε-closure."""
+        out = {
+            target
+            for s in states
+            for sym, target in self.symbols_from(s)
+            if sym == symbol
+        }
+        return self.epsilon_closure(out)
+
+    def accepts(self, word: list[Symbol]) -> bool:
+        """Word membership (used by tests to validate the construction)."""
+        current = self.epsilon_closure({self.start})
+        for symbol in word:
+            current = self.move(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.transitions: dict[int, list[tuple[Symbol | None, int]]] = {}
+        self.counter = itertools.count()
+
+    def state(self) -> int:
+        return next(self.counter)
+
+    def edge(self, src: int, symbol: Symbol | None, dst: int) -> None:
+        self.transitions.setdefault(src, []).append((symbol, dst))
+
+    def build(self, node: Regex) -> tuple[int, int]:
+        """Thompson construction; returns (entry, exit) states."""
+        if isinstance(node, Epsilon):
+            s, t = self.state(), self.state()
+            self.edge(s, EPS, t)
+            return s, t
+        if isinstance(node, Label):
+            s, t = self.state(), self.state()
+            self.edge(s, (node.label, True), t)
+            return s, t
+        if isinstance(node, Inverse):
+            s, t = self.state(), self.state()
+            self.edge(s, (node.label, False), t)
+            return s, t
+        if isinstance(node, Concat):
+            s1, t1 = self.build(node.left)
+            s2, t2 = self.build(node.right)
+            self.edge(t1, EPS, s2)
+            return s1, t2
+        if isinstance(node, Alt):
+            s, t = self.state(), self.state()
+            s1, t1 = self.build(node.left)
+            s2, t2 = self.build(node.right)
+            self.edge(s, EPS, s1)
+            self.edge(s, EPS, s2)
+            self.edge(t1, EPS, t)
+            self.edge(t2, EPS, t)
+            return s, t
+        if isinstance(node, Star):
+            s, t = self.state(), self.state()
+            s1, t1 = self.build(node.inner)
+            self.edge(s, EPS, s1)
+            self.edge(s, EPS, t)
+            self.edge(t1, EPS, s1)
+            self.edge(t1, EPS, t)
+            return s, t
+        raise TypeError(f"unknown regex node {type(node).__name__}")
+
+
+def compile_regex(node: Regex) -> NFA:
+    """Compile a regex AST to an ε-NFA.
+
+    >>> from repro.automata.regex import parse_regex
+    >>> nfa = compile_regex(parse_regex("a.b*"))
+    >>> nfa.accepts([("a", True)]), nfa.accepts([("a", True), ("b", True)])
+    (True, True)
+    >>> nfa.accepts([("b", True)])
+    False
+    """
+    builder = _Builder()
+    start, accept = builder.build(node)
+    n_states = max(builder.transitions, default=0) + 2
+    return NFA(
+        start=start,
+        accepting=frozenset({accept}),
+        transitions=builder.transitions,
+        n_states=n_states,
+    )
+
+
+def product_reachable_pairs(
+    nfa: NFA,
+    edges: set[tuple],
+    nodes: set,
+) -> frozenset[tuple]:
+    """All node pairs (u, v) connected by a path whose label is accepted.
+
+    BFS over the product of the graph and the automaton — the classical
+    PTIME RPQ algorithm.  ``edges`` are (u, label, v) triples; inverse
+    symbols traverse them backwards.
+    """
+    forward: dict[tuple, set] = {}
+    backward: dict[tuple, set] = {}
+    for u, label, v in edges:
+        forward.setdefault((u, label), set()).add(v)
+        backward.setdefault((v, label), set()).add(u)
+
+    result: set[tuple] = set()
+    start_closure = nfa.epsilon_closure({nfa.start})
+    # Group automaton transitions by state once.
+    for source in nodes:
+        seen: set[tuple] = {(source, q) for q in start_closure}
+        queue = deque(seen)
+        while queue:
+            node, state = queue.popleft()
+            if state in nfa.accepting:
+                result.add((source, node))
+            for symbol, target in nfa.symbols_from(state):
+                if symbol is EPS:
+                    nxt = [(node, target)]
+                else:
+                    label, is_forward = symbol
+                    neighbours = (
+                        forward.get((node, label), ())
+                        if is_forward
+                        else backward.get((node, label), ())
+                    )
+                    nxt = [(n2, target) for n2 in neighbours]
+                for pair in nxt:
+                    if pair not in seen:
+                        seen.add(pair)
+                        queue.append(pair)
+    return frozenset(result)

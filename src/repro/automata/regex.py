@@ -1,0 +1,196 @@
+"""Regular expressions over edge alphabets — the RPQ substrate.
+
+AST nodes cover the paper's RPQ needs (Section 2.1) plus inverse labels
+(for 2RPQs, used when comparing with C2RPQs in Section 6.2).  The parser
+accepts the usual textual syntax::
+
+    parse_regex("a.(b+c)*.a-")     # concatenation ., union +, star *, inverse -
+
+Labels are bare identifiers; quoted labels ('with spaces') are allowed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+
+
+class Regex:
+    """Base class of regular-expression ASTs."""
+
+    __slots__ = ()
+
+    def walk(self) -> Iterator["Regex"]:
+        yield self
+        for child in getattr(self, "children", lambda: ())():
+            yield from child.walk()
+
+    def labels(self) -> frozenset[str]:
+        """All edge labels mentioned."""
+        return frozenset(
+            n.label for n in self.walk() if isinstance(n, (Label, Inverse))
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class Epsilon(Regex):
+    """The empty word."""
+
+    def __repr__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True, repr=False)
+class Label(Regex):
+    """A single forward edge label."""
+
+    label: str
+
+    def __repr__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True, repr=False)
+class Inverse(Regex):
+    """A backward edge label ``a-``."""
+
+    label: str
+
+    def __repr__(self) -> str:
+        return f"{self.label}-"
+
+
+@dataclass(frozen=True, repr=False)
+class Concat(Regex):
+    left: Regex
+    right: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}.{self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Alt(Regex):
+    left: Regex
+    right: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}+{self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Star(Regex):
+    inner: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.inner,)
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r}*"
+
+
+_LABEL_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*|'[^']*'")
+
+
+class _RegexParser:
+    """Recursive-descent parser: alt > concat > postfix > atom."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def _skip(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def parse(self) -> Regex:
+        node = self.alt()
+        self._skip()
+        if self.pos != len(self.text):
+            raise ParseError("trailing regex input", self.text, self.pos)
+        return node
+
+    def alt(self) -> Regex:
+        node = self.concat()
+        while self._peek() == "+":
+            self.pos += 1
+            node = Alt(node, self.concat())
+        return node
+
+    def concat(self) -> Regex:
+        node = self.postfix()
+        while True:
+            ch = self._peek()
+            if ch == ".":
+                self.pos += 1
+                node = Concat(node, self.postfix())
+            elif ch and (ch.isalnum() or ch in "('_"):
+                # juxtaposition also concatenates: "ab" == "a.b" only for
+                # single-char labels is ambiguous, so we require '.' between
+                # bare labels but allow it before '(' groups.
+                if ch == "(":
+                    node = Concat(node, self.postfix())
+                else:
+                    return node
+            else:
+                return node
+
+    def postfix(self) -> Regex:
+        node = self.atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self.pos += 1
+                node = Star(node)
+            elif ch == "-":
+                if isinstance(node, Label):
+                    self.pos += 1
+                    node = Inverse(node.label)
+                else:
+                    raise ParseError("'-' applies to labels only", self.text, self.pos)
+            else:
+                return node
+
+    def atom(self) -> Regex:
+        self._skip()
+        if self._peek() == "(":
+            self.pos += 1
+            if self._peek() == ")":
+                self.pos += 1
+                return Epsilon()
+            node = self.alt()
+            self._skip()
+            if self._peek() != ")":
+                raise ParseError("expected ')'", self.text, self.pos)
+            self.pos += 1
+            return node
+        m = _LABEL_RE.match(self.text, self.pos)
+        if not m:
+            raise ParseError("expected a label", self.text, self.pos)
+        self.pos = m.end()
+        label = m.group()
+        if label.startswith("'"):
+            label = label[1:-1]
+        return Label(label)
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse textual regex syntax into a :class:`Regex` AST.
+
+    >>> parse_regex("a.(b+c)*")
+    (a.(b+c)*)
+    """
+    return _RegexParser(text).parse()

@@ -1,0 +1,146 @@
+"""Command-line interface: query triplestore files from the shell.
+
+Usage (after installation, or via ``python -m repro.cli``)::
+
+    # TriAL / TriAL* queries in the text syntax
+    python -m repro.cli query store.tstore "star[1,2,3'; 3=1'](E)"
+    python -m repro.cli query store.tstore "join[1,3',3; 2=1'](E, E)" --engine naive
+
+    # Datalog programs
+    python -m repro.cli datalog store.tstore program.dl --validate ReachTripleDatalog
+
+    # Store statistics
+    python -m repro.cli info store.tstore
+
+Store files use the :mod:`repro.triplestore.io` text format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import FastEngine, HashJoinEngine, NaiveEngine, evaluate
+from repro.core.optimizer import optimize
+from repro.core.parser import parse as parse_expr
+from repro.datalog import parse_program, run_program, validate_fragment
+from repro.errors import ReproError
+from repro.triplestore import Triplestore, load_path
+
+ENGINES = {
+    "hash": HashJoinEngine,
+    "naive": NaiveEngine,
+    "fast": FastEngine,
+}
+
+
+def _print_triples(triples, limit: int | None) -> None:
+    rows = sorted(triples, key=repr)
+    shown = rows if limit is None else rows[:limit]
+    for s, p, o in shown:
+        print(f"{s!r}\t{p!r}\t{o!r}")
+    if limit is not None and len(rows) > limit:
+        print(f"... ({len(rows) - limit} more; use --limit 0 for all)")
+    print(f"# {len(rows)} triples")
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    store = load_path(args.store)
+    expr = parse_expr(args.expression)
+    if args.optimize:
+        expr = optimize(expr)
+        print(f"# optimized: {expr!r}", file=sys.stderr)
+    engine = ENGINES[args.engine]()
+    result = evaluate(expr, store, engine)
+    _print_triples(result, None if args.limit == 0 else args.limit)
+    return 0
+
+
+def _cmd_datalog(args: argparse.Namespace) -> int:
+    store = load_path(args.store)
+    with open(args.program, encoding="utf-8") as fp:
+        program = parse_program(fp.read(), answer=args.answer)
+    if args.validate:
+        validate_fragment(program, args.validate)
+        print(f"# program is valid {args.validate}¬", file=sys.stderr)
+    result = run_program(program, store)
+    _print_triples(result, None if args.limit == 0 else args.limit)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    store = load_path(args.store)
+    print(f"objects:   {store.n_objects}")
+    print(f"triples:   {len(store)}")
+    for name in store.relation_names:
+        print(f"  {name}: {len(store.relation(name))}")
+    with_data = sum(1 for o in store.objects if store.rho(o) is not None)
+    print(f"rho-assigned objects: {with_data}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.explain import explain
+
+    expr = parse_expr(args.expression)
+    if args.optimize:
+        expr = optimize(expr)
+    print(explain(expr).summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TriAL for RDF — query triplestores from the shell",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("query", help="evaluate a TriAL(*) expression")
+    q.add_argument("store", help="triplestore file (text format)")
+    q.add_argument("expression", help="expression in the TriAL text syntax")
+    q.add_argument("--engine", choices=sorted(ENGINES), default="hash")
+    q.add_argument("--optimize", action="store_true", help="apply rewrites first")
+    q.add_argument("--limit", type=int, default=20, help="max rows (0 = all)")
+    q.set_defaults(func=_cmd_query)
+
+    d = sub.add_parser("datalog", help="run a TripleDatalog¬ program")
+    d.add_argument("store")
+    d.add_argument("program", help="program file")
+    d.add_argument("--answer", default="Ans", help="answer predicate name")
+    d.add_argument(
+        "--validate",
+        choices=["TripleDatalog", "ReachTripleDatalog"],
+        help="require fragment membership before running",
+    )
+    d.add_argument("--limit", type=int, default=20)
+    d.set_defaults(func=_cmd_datalog)
+
+    i = sub.add_parser("info", help="store statistics")
+    i.add_argument("store")
+    i.set_defaults(func=_cmd_info)
+
+    e = sub.add_parser("explain", help="static analysis of an expression")
+    e.add_argument("expression", help="expression in the TriAL text syntax")
+    e.add_argument("--optimize", action="store_true")
+    e.set_defaults(func=_cmd_explain)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""TriAL / TriAL* — the paper's core contribution.
+
+Quick use::
+
+    from repro.core import R, join, star, evaluate
+    from repro.triplestore import Triplestore
+
+    t = Triplestore([("a", "p", "b"), ("b", "q", "c")])
+    e = star(R("E"), "1,2,3'", "3=1'")        # Reach→
+    evaluate(e, t)
+"""
+
+from repro.core.builder import (
+    R,
+    complement,
+    diagonal,
+    distinct_objects_at_least,
+    example2_expr,
+    example2_extended,
+    example3_left,
+    example3_right,
+    intersect_as_join,
+    join,
+    lstar,
+    permute,
+    query_q,
+    reach_down,
+    reach_forward,
+    select,
+    star,
+    union_all,
+    universe,
+    universe_as_joins,
+)
+from repro.core.conditions import Cond, as_conditions, eta, parse_conditions, theta
+from repro.core.engines import Engine, FastEngine, HashJoinEngine, NaiveEngine, TripleSet
+from repro.core.expressions import (
+    Diff,
+    Expr,
+    Intersect,
+    Join,
+    Rel,
+    Select,
+    Star,
+    Union,
+    Universe,
+    in_reach_ta_eq,
+    in_trial,
+    in_trial_eq,
+    is_equality_only,
+    star_is_reach,
+)
+from repro.core.optimizer import optimize
+from repro.core.parser import parse
+from repro.core.semijoin import antijoin, in_semijoin_algebra, semijoin
+from repro.core.positions import Const, Pos
+from repro.triplestore.model import Triplestore
+
+_DEFAULT_ENGINE = HashJoinEngine()
+
+
+def evaluate(expr: Expr, store: Triplestore, engine: Engine | None = None) -> TripleSet:
+    """Evaluate ``expr`` over ``store`` (default: the hash-join engine)."""
+    return (engine or _DEFAULT_ENGINE).evaluate(expr, store)
+
+
+def project13(triples) -> frozenset:
+    """π₁,₃ — the pairs (s, o) of a triple set (Section 6.2's convention
+    for using TriAL* as a binary graph query language)."""
+    return frozenset((s, o) for s, _, o in triples)
+
+
+__all__ = [
+    "Cond",
+    "Const",
+    "Diff",
+    "Engine",
+    "Expr",
+    "FastEngine",
+    "HashJoinEngine",
+    "Intersect",
+    "Join",
+    "NaiveEngine",
+    "Pos",
+    "R",
+    "Rel",
+    "Select",
+    "Star",
+    "TripleSet",
+    "Triplestore",
+    "Union",
+    "Universe",
+    "as_conditions",
+    "complement",
+    "diagonal",
+    "distinct_objects_at_least",
+    "eta",
+    "evaluate",
+    "example2_expr",
+    "example2_extended",
+    "example3_left",
+    "example3_right",
+    "in_reach_ta_eq",
+    "in_trial",
+    "in_trial_eq",
+    "intersect_as_join",
+    "is_equality_only",
+    "join",
+    "lstar",
+    "optimize",
+    "parse",
+    "parse_conditions",
+    "permute",
+    "project13",
+    "query_q",
+    "reach_down",
+    "reach_forward",
+    "select",
+    "star",
+    "star_is_reach",
+    "theta",
+    "union_all",
+    "universe",
+    "universe_as_joins",
+    "antijoin",
+    "in_semijoin_algebra",
+    "semijoin",
+]

@@ -1,0 +1,255 @@
+"""Ergonomic constructors and the paper's named queries.
+
+The functions here build :mod:`repro.core.expressions` ASTs from compact
+paper-style strings, e.g.::
+
+    e = join(R("E"), R("E"), "1,3',3", "2=1'")        # Example 2
+    q = query_q()                                     # Example 4 / query Q
+
+It also contains the *derived* operations of Section 3 — intersection,
+the universal relation and complement — both as sugar over the native
+nodes and, where the paper gives an explicit definition inside the core
+algebra (intersection as a join, U as a union of joins), as that literal
+definition so tests can verify definability.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.conditions import Cond, as_conditions
+from repro.core.expressions import (
+    LEFT,
+    RIGHT,
+    Diff,
+    Expr,
+    Intersect,
+    Join,
+    Rel,
+    Select,
+    Star,
+    Union,
+    Universe,
+)
+from repro.core.positions import Pos
+from repro.errors import AlgebraError
+
+__all__ = [
+    "R",
+    "select",
+    "join",
+    "star",
+    "lstar",
+    "union_all",
+    "intersect_as_join",
+    "universe",
+    "universe_as_joins",
+    "complement",
+    "permute",
+    "diagonal",
+    "reach_forward",
+    "reach_down",
+    "example2_expr",
+    "example2_extended",
+    "example3_right",
+    "example3_left",
+    "query_q",
+    "distinct_objects_at_least",
+]
+
+
+def R(name: str) -> Rel:
+    """A base relation reference."""
+    return Rel(name)
+
+
+def select(expr: Expr, conditions: str | Iterable[Cond] = "") -> Select:
+    """``σ_{θ,η}(expr)`` with paper-style condition strings."""
+    return Select(expr, as_conditions(conditions))
+
+
+def join(
+    left: Expr,
+    right: Expr,
+    out: str | tuple[int, int, int] = (0, 1, 2),
+    conditions: str | Iterable[Cond] = "",
+) -> Join:
+    """``left ✶^{out}_{conditions} right``.
+
+    >>> join(R("E"), R("E"), "1,3',3", "2=1'")
+    join[1,3',3; 2=1'](E, E)
+    """
+    return Join(left, right, out, as_conditions(conditions))
+
+
+def star(
+    expr: Expr,
+    out: str | tuple[int, int, int] = (0, 1, 2),
+    conditions: str | Iterable[Cond] = "",
+) -> Star:
+    """Right Kleene closure ``(expr ✶^{out}_{conditions})*``."""
+    return Star(expr, out, as_conditions(conditions), RIGHT)
+
+
+def lstar(
+    expr: Expr,
+    out: str | tuple[int, int, int] = (0, 1, 2),
+    conditions: str | Iterable[Cond] = "",
+) -> Star:
+    """Left Kleene closure ``(✶^{out}_{conditions} expr)*``."""
+    return Star(expr, out, as_conditions(conditions), LEFT)
+
+
+def union_all(exprs: Iterable[Expr]) -> Expr:
+    """Fold a nonempty iterable of expressions into a union."""
+    exprs = list(exprs)
+    if not exprs:
+        raise AlgebraError("union_all needs at least one expression")
+    acc = exprs[0]
+    for e in exprs[1:]:
+        acc = Union(acc, e)
+    return acc
+
+
+# --------------------------------------------------------------------- #
+# Derived operations, as the paper defines them
+# --------------------------------------------------------------------- #
+
+def intersect_as_join(left: Expr, right: Expr) -> Join:
+    """The paper's intersection: ``e1 ✶^{1,2,3}_{1=1',2=2',3=3'} e2``."""
+    return join(left, right, "1,2,3", "1=1' & 2=2' & 3=3'")
+
+
+def universe() -> Universe:
+    """The native U node (engines compute the active domain directly)."""
+    return Universe()
+
+
+def universe_as_joins(names: Iterable[str]) -> Expr:
+    """U defined inside the core algebra, per Section 3.
+
+    For every combination of relations ``R, R', R''`` and positions, take
+    ``(R ✶^{i,2',3'} R') ✶^{1,2,3''} R''``-style joins collecting each
+    object position independently, and union them all.  This is cubic in
+    the number of relations×positions and exists to *prove definability*;
+    use :func:`universe` for actual evaluation.
+    """
+    names = list(names)
+    if not names:
+        raise AlgebraError("universe_as_joins needs at least one relation name")
+    parts: list[Expr] = []
+    # First collect, for every relation and position, the unary "column"
+    # c = objects at that position, represented as triples (c, c, c).
+    columns: list[Expr] = []
+    for name in names:
+        rel = Rel(name)
+        for pos in ("1", "2", "3"):
+            columns.append(join(rel, rel, f"{pos},{pos},{pos}"))
+    # Then combine any three columns into arbitrary triples: take subject
+    # from the first, predicate from the second, object from the third.
+    all_columns = union_all(columns)
+    pair = join(all_columns, all_columns, "1,2',3'")
+    parts.append(join(pair, all_columns, "1,2,3'"))
+    return union_all(parts)
+
+
+def complement(expr: Expr) -> Diff:
+    """``eᶜ = U − e`` (Section 3)."""
+    return Diff(Universe(), expr)
+
+
+def permute(expr: Expr, out: str | tuple[int, int, int]) -> Join:
+    """Rearrange triple components, e.g. ``permute(e, "3,2,1")`` reverses.
+
+    Implemented as the self-join ``e ✶^{out}_{1=1',2=2',3=3'} e`` (the
+    conditions pin the two operands to the same triple), so it stays
+    inside the algebra.  Only left-operand positions make sense in
+    ``out``; right positions are normalised to their left counterparts.
+    """
+    if isinstance(out, str):
+        from repro.core.positions import parse_out_spec
+
+        out = parse_out_spec(out)
+    out = tuple(i - 3 if i >= 3 else i for i in out)  # type: ignore[assignment]
+    return join(expr, expr, out, "1=1' & 2=2' & 3=3'")
+
+
+def diagonal() -> Select:
+    """D = {(o,o,o) | o in the active domain}: ``σ_{1=2,2=3}(U)``."""
+    return select(Universe(), "1=2 & 2=3")
+
+
+# --------------------------------------------------------------------- #
+# The paper's named queries
+# --------------------------------------------------------------------- #
+
+def reach_forward(name: str = "E") -> Star:
+    """Reach→ (Introduction / Example 4): ``(E ✶^{1,2,3'}_{3=1'})*``.
+
+    Pairs (x, z) connected by a chain where each triple's object is the
+    next triple's subject; the middle component is inherited from the
+    first triple.
+    """
+    return star(Rel(name), "1,2,3'", "3=1'")
+
+
+def reach_down(name: str = "E") -> Star:
+    """Reach⤓ (the paper's Reach with the "fan" pattern, Example 4):
+    ``(✶^{1',2',3}_{1=2'} E)*`` — a left Kleene closure.
+    """
+    return lstar(Rel(name), "1',2',3", "1=2'")
+
+
+def example2_expr(name: str = "E") -> Join:
+    """Example 2: ``E ✶^{1,3',3}_{2=1'} E`` — cities with operating companies."""
+    return join(Rel(name), Rel(name), "1,3',3", "2=1'")
+
+
+def example2_extended(name: str = "E") -> Expr:
+    """Example 2's e′ = e ∪ (e ✶^{1,3',3}_{2=1'} E)."""
+    e = example2_expr(name)
+    return Union(e, join(e, Rel(name), "1,3',3", "2=1'"))
+
+
+def example3_right(name: str = "E") -> Star:
+    """Example 3's ``(E ✶^{1,2,2'}_{3=1'})*`` (right closure)."""
+    return star(Rel(name), "1,2,2'", "3=1'")
+
+
+def example3_left(name: str = "E") -> Star:
+    """Example 3's ``(✶^{1,2,2'}_{3=1'} E)*`` (left closure)."""
+    return lstar(Rel(name), "1,2,2'", "3=1'")
+
+
+def query_q(name: str = "E") -> Star:
+    """Query Q (Section 2.2 / Example 4).
+
+    Find pairs of cities (x, z) such that one can travel from x to z
+    using services operated by the same company::
+
+        ((E ✶^{1,3',3}_{2=1'})* ✶^{1,2,3'}_{3=1',2=2'})*
+
+    The result triples are (x, company, z); project on positions 1,3 for
+    the city pairs.
+    """
+    inner = star(Rel(name), "1,3',3", "2=1'")
+    return star(inner, "1,2,3'", "3=1' & 2=2'")
+
+
+def distinct_objects_at_least(k: int) -> Expr:
+    """A TriAL expression that is nonempty iff the store has ≥ k objects.
+
+    For k = 4 this is the Theorem 4 separating query
+    ``U ✶^{1,2,3}_{θ} U`` with θ demanding pairwise-distinct 1,2,3,1';
+    for k = 6 it is the query separating TriAL from FO⁵.  Supported k:
+    2..6 (positions available to one join).
+    """
+    if not 2 <= k <= 6:
+        raise AlgebraError(f"distinct_objects_at_least supports k in 2..6, got {k}")
+    positions = [Pos(i) for i in range(k)]
+    conds = tuple(
+        Cond(positions[i], positions[j], "!=")
+        for i in range(k)
+        for j in range(i + 1, k)
+    )
+    return Join(Universe(), Universe(), (0, 1, 2), conds)

@@ -1,0 +1,230 @@
+"""θ- and η-conditions for Triple Algebra joins and selections.
+
+A join ``R ✶^{i,j,k}_{θ,η} R'`` carries
+
+* ``θ`` — a set of equalities/inequalities between positions and *objects*;
+* ``η`` — a set of equalities/inequalities between the *data values*
+  ``ρ(position)`` and data constants.
+
+We represent both with one :class:`Cond` class carrying an ``on_data``
+flag; helpers split a condition list back into the paper's (θ, η) pair.
+A small string syntax mirrors the paper's notation::
+
+    parse_conditions("2=1'")                    # θ equality
+    parse_conditions("1!=3' & rho(2)=rho(2')")  # θ inequality + η equality
+    parse_conditions("2='part_of'")             # θ with object constant
+    parse_conditions("rho(3)=7")                # η with data constant
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.errors import AlgebraError, ParseError
+from repro.core.positions import Const, Pos, Term
+
+EQ = "="
+NEQ = "!="
+_OPS = (EQ, NEQ)
+
+
+@dataclass(frozen=True)
+class Cond:
+    """One (in)equality between two condition terms.
+
+    ``on_data=False`` makes this a θ-condition (objects are compared
+    directly), ``on_data=True`` an η-condition (each :class:`Pos` term is
+    first mapped through ρ; constants are data values).
+    """
+
+    left: Term
+    right: Term
+    op: str = EQ
+    on_data: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise AlgebraError(f"condition operator must be '=' or '!=', got {self.op!r}")
+        if isinstance(self.left, Const) and isinstance(self.right, Const):
+            # Legal but pointless — it is a constant boolean.  Allowed so
+            # generated conditions compose, evaluated statically by engines.
+            pass
+
+    @property
+    def is_equality(self) -> bool:
+        return self.op == EQ
+
+    def positions(self) -> tuple[Pos, ...]:
+        """All :class:`Pos` terms mentioned."""
+        return tuple(t for t in (self.left, self.right) if isinstance(t, Pos))
+
+    def max_position(self) -> int:
+        """Largest position index used, or -1 if constant-only."""
+        ps = self.positions()
+        return max((p.index for p in ps), default=-1)
+
+    def shift_right(self) -> "Cond":
+        """Reinterpret select-side positions (0..2) as right-operand (3..5)."""
+        def shift(t: Term) -> Term:
+            return Pos(t.index + 3) if isinstance(t, Pos) else t
+        return Cond(shift(self.left), shift(self.right), self.op, self.on_data)
+
+    def swap_sides(self) -> "Cond":
+        """Exchange the roles of the two operands (1 <-> 1', etc.)."""
+        def flip(t: Term) -> Term:
+            if isinstance(t, Pos):
+                return Pos(t.index + 3) if t.index < 3 else Pos(t.index - 3)
+            return t
+        return Cond(flip(self.left), flip(self.right), self.op, self.on_data)
+
+    def evaluate(
+        self,
+        left_triple: tuple,
+        right_triple: tuple | None,
+        rho: Callable[[Any], Any],
+    ) -> bool:
+        """Check the condition against concrete triples.
+
+        ``right_triple`` may be ``None`` for selection conditions (all
+        positions then refer to ``left_triple``).
+        """
+        def resolve(term: Term) -> Any:
+            if isinstance(term, Const):
+                return term.value
+            if term.index < 3:
+                obj = left_triple[term.index]
+            else:
+                if right_triple is None:
+                    raise AlgebraError(
+                        f"condition uses {term.paper_name} but no right operand given"
+                    )
+                obj = right_triple[term.index - 3]
+            return rho(obj) if self.on_data else obj
+
+        lv, rv = resolve(self.left), resolve(self.right)
+        return (lv == rv) if self.op == EQ else (lv != rv)
+
+    def __repr__(self) -> str:
+        def fmt(t: Term) -> str:
+            if isinstance(t, Const):
+                return repr(t.value)
+            name = t.paper_name
+            return f"rho({name})" if self.on_data else name
+        return f"{fmt(self.left)}{self.op}{fmt(self.right)}"
+
+
+Conditions = tuple[Cond, ...]
+
+
+def theta(conditions: Iterable[Cond]) -> Conditions:
+    """The object-comparison (θ) part of a condition list."""
+    return tuple(c for c in conditions if not c.on_data)
+
+
+def eta(conditions: Iterable[Cond]) -> Conditions:
+    """The data-comparison (η) part of a condition list."""
+    return tuple(c for c in conditions if c.on_data)
+
+
+def equalities_only(conditions: Iterable[Cond]) -> bool:
+    """True when no condition is an inequality (the TriAL= restriction)."""
+    return all(c.is_equality for c in conditions)
+
+
+# --------------------------------------------------------------------- #
+# The string mini-language
+# --------------------------------------------------------------------- #
+
+_TERM_RE = re.compile(
+    r"""\s*(?:
+        rho\(\s*(?P<rhopos>[123]'?)\s*\)      # rho(2')
+      | (?P<pos>[123]'?)                      # 2'
+      | '(?P<sq>[^']*)'                       # 'object constant'
+      | "(?P<dq>[^"]*)"
+      | (?P<num>-?\d+(?:\.\d+)?)              # numeric constant
+    )\s*""",
+    re.VERBOSE,
+)
+
+
+def _parse_term(text: str, pos: int) -> tuple[Term, bool, str, int]:
+    """Parse one term; returns (term, is_rho, raw_token, next_position)."""
+    m = _TERM_RE.match(text, pos)
+    if not m:
+        raise ParseError("expected a condition term", text, pos)
+    if m.group("rhopos"):
+        return Pos.from_paper(m.group("rhopos")), True, m.group("rhopos"), m.end()
+    if m.group("pos"):
+        return Pos.from_paper(m.group("pos")), False, m.group("pos"), m.end()
+    if m.group("sq") is not None:
+        return Const(m.group("sq")), False, "", m.end()
+    if m.group("dq") is not None:
+        return Const(m.group("dq")), False, "", m.end()
+    num = m.group("num")
+    value = float(num) if "." in num else int(num)
+    return Const(value), False, "", m.end()
+
+
+def _parse_one(text: str, pos: int) -> tuple[Cond, int]:
+    left, left_rho, left_raw, pos = _parse_term(text, pos)
+    if text.startswith("!=", pos):
+        op, pos = NEQ, pos + 2
+    elif text.startswith("=", pos):
+        op, pos = EQ, pos + 1
+    else:
+        raise ParseError("expected '=' or '!='", text, pos)
+    right, right_rho, right_raw, pos = _parse_term(text, pos)
+    on_data = left_rho or right_rho
+    if on_data and isinstance(left, Pos) and isinstance(right, Pos):
+        # "rho(1) = 2" compares ρ(1) with the data constant 2, whereas
+        # "rho(1) = rho(2)" compares two positions.  A bare *unprimed*
+        # digit opposite a rho-term is therefore a numeric constant;
+        # primed bare positions ("rho(1) = 2'") stay an error.
+        if not left_rho and not left_raw.endswith("'"):
+            left = Const(int(left_raw))
+        elif not right_rho and not right_raw.endswith("'"):
+            right = Const(int(right_raw))
+        elif not (left_rho and right_rho):
+            raise ParseError(
+                "cannot mix rho(...) and bare primed positions in one condition",
+                text,
+                pos,
+            )
+    return Cond(left, right, op, on_data), pos
+
+
+def parse_conditions(spec: str) -> Conditions:
+    """Parse a ``&``-separated condition list.
+
+    >>> parse_conditions("2=1' & rho(3)!=rho(3')")
+    (2=1', rho(3)!=rho(3'))
+    >>> parse_conditions("")
+    ()
+    """
+    spec = spec.strip()
+    if not spec:
+        return ()
+    out: list[Cond] = []
+    pos = 0
+    while True:
+        cond, pos = _parse_one(spec, pos)
+        out.append(cond)
+        rest = spec[pos:].lstrip()
+        if not rest:
+            break
+        if rest.startswith("&") or rest.startswith(","):
+            pos = len(spec) - len(rest) + 1
+        else:
+            raise ParseError("expected '&' between conditions", spec, pos)
+    return tuple(out)
+
+
+def as_conditions(conds: str | Iterable[Cond] | None) -> Conditions:
+    """Coerce user input (string, iterable, or ``None``) to conditions."""
+    if conds is None:
+        return ()
+    if isinstance(conds, str):
+        return parse_conditions(conds)
+    return tuple(conds)

@@ -1,0 +1,8 @@
+"""Evaluation engines for the Triple Algebra."""
+
+from repro.core.engines.base import Engine, TripleSet
+from repro.core.engines.fast import FastEngine
+from repro.core.engines.hashjoin import HashJoinEngine
+from repro.core.engines.naive import NaiveEngine
+
+__all__ = ["Engine", "FastEngine", "HashJoinEngine", "NaiveEngine", "TripleSet"]

@@ -1,0 +1,91 @@
+"""Engine interface and shared helpers for Triple Algebra evaluation.
+
+All engines implement one method, :meth:`Engine.evaluate`, mapping an
+expression and a triplestore to a frozen set of triples.  The semantics
+is fixed by the paper; engines differ only in algorithmics:
+
+* :class:`~repro.core.engines.naive.NaiveEngine` — the paper's Theorem 3
+  algorithm (nested-loop joins, non-semi-naive fixpoints);
+* :class:`~repro.core.engines.hashjoin.HashJoinEngine` — hash joins and
+  semi-naive fixpoints (a realistic implementation);
+* :class:`~repro.core.engines.fast.FastEngine` — adds the Proposition 4/5
+  ``O(|e|·|O|·|T|)`` algorithms for the equality and reach fragments.
+
+Cross-engine agreement is enforced by the property tests in
+``tests/test_engines_agree.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.errors import EvaluationBudgetError
+from repro.core.conditions import Cond
+from repro.core.expressions import Expr
+from repro.triplestore.model import Triple, Triplestore
+
+TripleSet = frozenset[Triple]
+
+
+class Engine(ABC):
+    """Evaluates Triple Algebra expressions over triplestores.
+
+    Parameters
+    ----------
+    max_universe_objects:
+        Evaluating the universal relation U materialises ``|O_active|^3``
+        triples.  Engines refuse when the active domain exceeds this
+        limit (default 400) instead of silently exhausting memory.
+    """
+
+    def __init__(self, max_universe_objects: int = 400) -> None:
+        self.max_universe_objects = max_universe_objects
+
+    @abstractmethod
+    def evaluate(self, expr: Expr, store: Triplestore) -> TripleSet:
+        """The relation ``expr(store)``."""
+
+    # ------------------------------------------------------------------ #
+    # Shared semantics helpers
+    # ------------------------------------------------------------------ #
+
+    def active_domain(self, store: Triplestore) -> frozenset:
+        """Objects occurring in some stored triple (the domain of U)."""
+        objects: set = set()
+        for triple in store.all_triples():
+            objects.update(triple)
+        return frozenset(objects)
+
+    def universal_relation(self, store: Triplestore) -> TripleSet:
+        """U — all triples over the active domain (Section 3)."""
+        domain = self.active_domain(store)
+        if len(domain) > self.max_universe_objects:
+            raise EvaluationBudgetError(
+                f"universal relation over {len(domain)} objects would hold "
+                f"{len(domain) ** 3} triples (limit {self.max_universe_objects} objects); "
+                "raise max_universe_objects to proceed"
+            )
+        return frozenset(itertools.product(domain, repeat=3))
+
+
+def make_condition_checker(
+    conditions: tuple[Cond, ...], rho: Callable[[Any], Any]
+) -> Callable[[Triple, Triple | None], bool]:
+    """A predicate testing all conditions on a (left, right) triple pair."""
+
+    def check(left: Triple, right: Triple | None) -> bool:
+        return all(c.evaluate(left, right, rho) for c in conditions)
+
+    return check
+
+
+def project_out(left: Triple, right: Triple, out: tuple[int, int, int]) -> Triple:
+    """Build the output triple of a join from its two input triples."""
+    i, j, k = out
+    return (
+        left[i] if i < 3 else right[i - 3],
+        left[j] if j < 3 else right[j - 3],
+        left[k] if k < 3 else right[k - 3],
+    )

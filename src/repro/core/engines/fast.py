@@ -1,0 +1,54 @@
+"""The fragment-aware engine implementing Propositions 4 and 5.
+
+:class:`FastEngine` extends the hash-join engine with the specialised
+reachability algorithms of :mod:`repro.core.engines.reach` whenever a
+Kleene star matches one of the two reachTA= patterns.  In ``strict``
+mode it refuses expressions outside reachTA= (inequalities or general
+stars) with a :class:`~repro.errors.FragmentError` — useful when a
+caller wants the ``O(|e|·|O|·|T|)`` guarantee rather than best effort.
+In non-strict mode (default) it silently falls back to the generic
+algorithms for the unsupported parts, so it is a drop-in accelerated
+replacement for :class:`~repro.core.engines.hashjoin.HashJoinEngine`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FragmentError
+from repro.core.expressions import Expr, Star, in_reach_ta_eq, star_is_reach
+from repro.core.engines.base import TripleSet
+from repro.core.engines.hashjoin import HashJoinEngine
+from repro.core.engines.reach import reach_star_any, reach_star_same_label
+from repro.triplestore.model import Triplestore
+
+
+class FastEngine(HashJoinEngine):
+    """Hash joins + Proposition 5 reachability stars.
+
+    Parameters
+    ----------
+    strict:
+        When True, evaluating anything outside reachTA= raises
+        :class:`FragmentError` instead of falling back.
+    """
+
+    def __init__(self, max_universe_objects: int = 400, strict: bool = False) -> None:
+        super().__init__(max_universe_objects)
+        self.strict = strict
+
+    def evaluate(self, expr: Expr, store: Triplestore) -> TripleSet:
+        if self.strict and not in_reach_ta_eq(expr):
+            raise FragmentError(
+                "expression is outside reachTA= (inequality conditions or a "
+                "general Kleene star); use HashJoinEngine or strict=False"
+            )
+        return super().evaluate(expr, store)
+
+    def _star(self, expr: Star, store: Triplestore, memo: dict) -> TripleSet:
+        base = self._eval(expr.expr, store, memo)
+        if star_is_reach(expr):
+            if len(expr.conditions) == 1:
+                return frozenset(reach_star_any(base))
+            return frozenset(reach_star_same_label(base))
+        if self.strict:  # pragma: no cover — filtered in evaluate()
+            raise FragmentError(f"star {expr!r} is not a reachTA= pattern")
+        return frozenset(self.star_fixpoint(base, expr, store))

@@ -1,0 +1,246 @@
+"""Hash-join based evaluation — the library's default engine.
+
+Joins are executed by
+
+1. splitting the condition set into left-local, right-local, cross and
+   constant parts;
+2. pre-filtering each operand with its local conditions;
+3. hashing the right operand on the cross-equality key and probing with
+   each left triple;
+4. checking the remaining cross inequalities per candidate pair.
+
+Kleene stars use semi-naive fixpoint iteration: only the triples produced
+in the previous round are re-joined with the base relation.  This is
+semantically identical to the paper's levels
+``∅ ∪ e ∪ e✶e ∪ (e✶e)✶e ∪ …`` because the triple join distributes over
+union in either argument.
+
+Identical sub-expressions are evaluated once per (engine, store) pair via
+a memo table — the AST is hashable precisely for this purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import AlgebraError
+from repro.core.conditions import Cond
+from repro.core.expressions import (
+    RIGHT,
+    Diff,
+    Expr,
+    Intersect,
+    Join,
+    Rel,
+    Select,
+    Star,
+    Union,
+    Universe,
+)
+from repro.core.engines.base import Engine, TripleSet, project_out
+from repro.core.positions import Const, Pos
+from repro.triplestore.model import Triple, Triplestore
+
+
+def split_conditions(conditions: tuple[Cond, ...]) -> tuple[
+    tuple[Cond, ...], tuple[Cond, ...], tuple[Cond, ...], tuple[Cond, ...], tuple[Cond, ...]
+]:
+    """Partition join conditions by which operand(s) they touch.
+
+    Returns ``(left_local, right_local, cross_eq, cross_neq, const_only)``.
+    A condition is *local* when all its positions fall in one operand
+    (constants do not count); *cross* when it mentions both.
+    """
+    left_local: list[Cond] = []
+    right_local: list[Cond] = []
+    cross_eq: list[Cond] = []
+    cross_neq: list[Cond] = []
+    const_only: list[Cond] = []
+    for cond in conditions:
+        sides = {p.is_right for p in cond.positions()}
+        if not sides:
+            const_only.append(cond)
+        elif sides == {False}:
+            left_local.append(cond)
+        elif sides == {True}:
+            right_local.append(cond)
+        else:
+            # Normalise so that cond.left is the left-operand position.
+            if isinstance(cond.left, Pos) and cond.left.is_right:
+                cond = Cond(cond.right, cond.left, cond.op, cond.on_data)
+            (cross_eq if cond.is_equality else cross_neq).append(cond)
+    return (
+        tuple(left_local),
+        tuple(right_local),
+        tuple(cross_eq),
+        tuple(cross_neq),
+        tuple(const_only),
+    )
+
+
+class HashJoinEngine(Engine):
+    """Default engine: hash joins + semi-naive fixpoints + memoisation."""
+
+    def evaluate(self, expr: Expr, store: Triplestore) -> TripleSet:
+        memo: dict[Expr, TripleSet] = {}
+        return self._eval(expr, store, memo)
+
+    # ------------------------------------------------------------------ #
+
+    def _eval(self, expr: Expr, store: Triplestore, memo: dict) -> TripleSet:
+        cached = memo.get(expr)
+        if cached is not None:
+            return cached
+        result = self._dispatch(expr, store, memo)
+        memo[expr] = result
+        return result
+
+    def _dispatch(self, expr: Expr, store: Triplestore, memo: dict) -> TripleSet:
+        if isinstance(expr, Rel):
+            return store.relation(expr.name)
+        if isinstance(expr, Universe):
+            return self.universal_relation(store)
+        if isinstance(expr, Select):
+            return self._select(
+                self._eval(expr.expr, store, memo), expr.conditions, store
+            )
+        if isinstance(expr, Union):
+            return self._eval(expr.left, store, memo) | self._eval(expr.right, store, memo)
+        if isinstance(expr, Diff):
+            return self._eval(expr.left, store, memo) - self._eval(expr.right, store, memo)
+        if isinstance(expr, Intersect):
+            return self._eval(expr.left, store, memo) & self._eval(expr.right, store, memo)
+        if isinstance(expr, Join):
+            return frozenset(
+                self.join(
+                    self._eval(expr.left, store, memo),
+                    self._eval(expr.right, store, memo),
+                    expr.out,
+                    expr.conditions,
+                    store,
+                )
+            )
+        if isinstance(expr, Star):
+            return self._star(expr, store, memo)
+        raise AlgebraError(f"unknown expression node {type(expr).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Operators
+    # ------------------------------------------------------------------ #
+
+    def _select(
+        self, triples: TripleSet, conditions: tuple[Cond, ...], store: Triplestore
+    ) -> TripleSet:
+        rho = store.rho
+        return frozenset(
+            t for t in triples if all(c.evaluate(t, None, rho) for c in conditions)
+        )
+
+    def join(
+        self,
+        left: TripleSet | set[Triple],
+        right: TripleSet | set[Triple],
+        out: tuple[int, int, int],
+        conditions: tuple[Cond, ...],
+        store: Triplestore,
+    ) -> set[Triple]:
+        """One hash join; exposed for reuse by fixpoints and other engines."""
+        rho = store.rho
+        left_local, right_local, cross_eq, cross_neq, const_only = split_conditions(
+            conditions
+        )
+
+        # Constant-only conditions are a static boolean gate.
+        for cond in const_only:
+            if not cond.evaluate((None,) * 3, (None,) * 3, rho):
+                return set()
+
+        if left_local:
+            left = {t for t in left if all(c.evaluate(t, None, rho) for c in left_local)}
+        if right_local:
+            # Right-local conditions talk about positions 1'..3'; shift
+            # them down so they can be checked against the bare triple.
+            shifted = tuple(c.swap_sides() for c in right_local)
+            right = {
+                t for t in right if all(c.evaluate(t, None, rho) for c in shifted)
+            }
+        if not left or not right:
+            return set()
+
+        key_of_left, key_of_right = self._key_extractors(cross_eq, rho)
+
+        index: dict[Any, list[Triple]] = {}
+        for rt in right:
+            index.setdefault(key_of_right(rt), []).append(rt)
+
+        result: set[Triple] = set()
+        if cross_neq:
+            check_neq = lambda lt, rt: all(  # noqa: E731
+                c.evaluate(lt, rt, rho) for c in cross_neq
+            )
+        else:
+            check_neq = None
+        for lt in left:
+            bucket = index.get(key_of_left(lt))
+            if not bucket:
+                continue
+            for rt in bucket:
+                if check_neq is None or check_neq(lt, rt):
+                    result.add(project_out(lt, rt, out))
+        return result
+
+    @staticmethod
+    def _key_extractors(
+        cross_eq: tuple[Cond, ...], rho: Callable[[Any], Any]
+    ) -> tuple[Callable[[Triple], Any], Callable[[Triple], Any]]:
+        """Key functions for both sides of the hash join.
+
+        Each cross equality contributes one key component; θ-conditions
+        use the object itself, η-conditions its ρ-value.  With no cross
+        equalities both keys are constant (a cartesian product, as the
+        algebra demands).
+        """
+        left_parts: list[Callable[[Triple], Any]] = []
+        right_parts: list[Callable[[Triple], Any]] = []
+        for cond in cross_eq:
+            lpos = cond.left
+            rpos = cond.right
+            assert isinstance(lpos, Pos) and isinstance(rpos, Pos)
+            li, ri = lpos.index, rpos.index - 3
+            if cond.on_data:
+                left_parts.append(lambda t, i=li: rho(t[i]))
+                right_parts.append(lambda t, i=ri: rho(t[i]))
+            else:
+                left_parts.append(lambda t, i=li: t[i])
+                right_parts.append(lambda t, i=ri: t[i])
+
+        def key_left(t: Triple) -> Any:
+            return tuple(f(t) for f in left_parts)
+
+        def key_right(t: Triple) -> Any:
+            return tuple(f(t) for f in right_parts)
+
+        return key_left, key_right
+
+    # ------------------------------------------------------------------ #
+    # Fixpoints
+    # ------------------------------------------------------------------ #
+
+    def _star(self, expr: Star, store: Triplestore, memo: dict) -> TripleSet:
+        base = self._eval(expr.expr, store, memo)
+        return frozenset(self.star_fixpoint(base, expr, store))
+
+    def star_fixpoint(
+        self, base: TripleSet, expr: Star, store: Triplestore
+    ) -> set[Triple]:
+        """Semi-naive closure of ``base`` under the star's join."""
+        acc: set[Triple] = set(base)
+        frontier: set[Triple] = set(base)
+        while frontier:
+            if expr.side == RIGHT:
+                produced = self.join(frontier, base, expr.out, expr.conditions, store)
+            else:
+                produced = self.join(base, frontier, expr.out, expr.conditions, store)
+            frontier = produced - acc
+            acc |= frontier
+        return acc

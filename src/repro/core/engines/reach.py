@@ -1,0 +1,79 @@
+"""Set-based ``O(|O|·|T|)`` algorithms for the reachTA= star patterns.
+
+Proposition 5 restricts the Kleene star to two shapes, mimicking graph
+reachability:
+
+* ``(R ✶^{1,2,3'}_{3=1'})*`` — "reachable by an arbitrary path";
+* ``(R ✶^{1,2,3'}_{3=1',2=2'})*`` — "reachable by a path labelled with
+  the same element".
+
+Both are computed here without generic fixpoints: project the relation
+to a successor graph (per label, for the second shape), run one BFS per
+distinct source object, and attach reachable endpoints to the base
+triples.  That is one BFS (``O(|T|)``) per object — the Proposition's
+``O(|O|·|T|)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable
+
+from repro.triplestore.model import Triple
+
+__all__ = ["bfs_reachable", "reach_star_any", "reach_star_same_label"]
+
+
+def bfs_reachable(
+    succ: dict[Hashable, set[Hashable]], source: Hashable
+) -> set[Hashable]:
+    """Nodes reachable from ``source`` (including it) in a successor map."""
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for nxt in succ.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return seen
+
+
+def reach_star_any(base: Iterable[Triple]) -> set[Triple]:
+    """``(R ✶^{1,2,3'}_{3=1'})*`` on a set of triples.
+
+    A triple (a, b, c) is in the result iff R contains some (a, b, x)
+    and c is reachable from x along the s→o edges of R (zero or more
+    steps — zero steps yields R itself, the closure's first level).
+    """
+    succ: dict[Hashable, set[Hashable]] = {}
+    for s, _, o in base:
+        succ.setdefault(s, set()).add(o)
+    reach_cache: dict[Hashable, set[Hashable]] = {}
+    result: set[Triple] = set()
+    for s, p, o in base:
+        reachable = reach_cache.get(o)
+        if reachable is None:
+            reachable = bfs_reachable(succ, o)
+            reach_cache[o] = reachable
+        for c in reachable:
+            result.add((s, p, c))
+    return result
+
+
+def reach_star_same_label(base: Iterable[Triple]) -> set[Triple]:
+    """``(R ✶^{1,2,3'}_{3=1',2=2'})*`` — chains sharing the middle element."""
+    succ_by_label: dict[Hashable, dict[Hashable, set[Hashable]]] = {}
+    for s, p, o in base:
+        succ_by_label.setdefault(p, {}).setdefault(s, set()).add(o)
+    reach_cache: dict[tuple[Hashable, Hashable], set[Hashable]] = {}
+    result: set[Triple] = set()
+    for s, p, o in base:
+        key = (p, o)
+        reachable = reach_cache.get(key)
+        if reachable is None:
+            reachable = bfs_reachable(succ_by_label[p], o)
+            reach_cache[key] = reachable
+        for c in reachable:
+            result.add((s, p, c))
+    return result

@@ -1,0 +1,183 @@
+"""A text syntax for Triple Algebra expressions.
+
+The grammar (whitespace-insensitive)::
+
+    expr     := term (("|" | "-" | "&") term)*        # left-associative
+    term     := NAME                                  # base relation
+              | "U"                                   # universal relation
+              | "(" expr ")"
+              | "select[" conds "](" expr ")"
+              | "join[" out (";" conds)? "](" expr "," expr ")"
+              | "star[" out (";" conds)? "](" expr ")"
+              | "lstar[" out (";" conds)? "](" expr ")"
+              | "compl(" expr ")"                     # U - expr
+    out      := pos "," pos "," pos                   # pos: 1 2 3 1' 2' 3'
+    conds    := cond ("&" cond)*                      # see conditions module
+
+Examples::
+
+    parse("join[1,3',3; 2=1'](E, E)")                 # Example 2
+    parse("star[1,2,3'; 3=1' & 2=2'](star[1,3',3; 2=1'](E))")   # query Q
+    parse("(E | F) - select[2='part_of'](E)")
+
+``parse`` and ``Expr.__repr__`` round-trip: parsing the repr of an
+expression yields an equal expression (tested property).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.core.conditions import parse_conditions
+from repro.core.expressions import (
+    Diff,
+    Expr,
+    Intersect,
+    Join,
+    Rel,
+    Select,
+    Star,
+    Union,
+    Universe,
+)
+from repro.core.builder import complement
+from repro.core.positions import parse_out_spec
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*")
+_KEYWORDS = {"select", "join", "star", "lstar", "compl", "U"}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # -- low-level helpers ------------------------------------------------
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _expect(self, token: str) -> None:
+        self._skip_ws()
+        if not self.text.startswith(token, self.pos):
+            raise ParseError(f"expected {token!r}", self.text, self.pos)
+        self.pos += len(token)
+
+    def _match(self, token: str) -> bool:
+        self._skip_ws()
+        if self.text.startswith(token, self.pos):
+            self.pos += len(token)
+            return True
+        return False
+
+    def _name(self) -> str:
+        self._skip_ws()
+        m = _NAME_RE.match(self.text, self.pos)
+        if not m:
+            raise ParseError("expected a name", self.text, self.pos)
+        self.pos = m.end()
+        return m.group()
+
+    def _bracket_payload(self) -> str:
+        """Consume '[' ... ']' and return the raw inside text."""
+        self._expect("[")
+        depth = 1
+        start = self.pos
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+                if depth == 0:
+                    payload = self.text[start:self.pos]
+                    self.pos += 1
+                    return payload
+            self.pos += 1
+        raise ParseError("unterminated '['", self.text, start)
+
+    @staticmethod
+    def _split_out_conds(payload: str) -> tuple[tuple[int, int, int], tuple]:
+        if ";" in payload:
+            out_part, cond_part = payload.split(";", 1)
+        else:
+            out_part, cond_part = payload, ""
+        return parse_out_spec(out_part), parse_conditions(cond_part)
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self.expr()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise ParseError("trailing input", self.text, self.pos)
+        return expr
+
+    def expr(self) -> Expr:
+        acc = self.term()
+        while True:
+            self._skip_ws()
+            ch = self._peek()
+            if ch == "|":
+                self.pos += 1
+                acc = Union(acc, self.term())
+            elif ch == "-":
+                self.pos += 1
+                acc = Diff(acc, self.term())
+            elif ch == "&":
+                self.pos += 1
+                acc = Intersect(acc, self.term())
+            else:
+                return acc
+
+    def term(self) -> Expr:
+        self._skip_ws()
+        if self._match("("):
+            inner = self.expr()
+            self._expect(")")
+            return inner
+        name = self._name()
+        if name == "U":
+            return Universe()
+        if name == "select":
+            conds = parse_conditions(self._bracket_payload())
+            self._expect("(")
+            inner = self.expr()
+            self._expect(")")
+            return Select(inner, conds)
+        if name == "join":
+            out, conds = self._split_out_conds(self._bracket_payload())
+            self._expect("(")
+            left = self.expr()
+            self._expect(",")
+            right = self.expr()
+            self._expect(")")
+            return Join(left, right, out, conds)
+        if name in ("star", "lstar"):
+            out, conds = self._split_out_conds(self._bracket_payload())
+            self._expect("(")
+            inner = self.expr()
+            self._expect(")")
+            side = "right" if name == "star" else "left"
+            return Star(inner, out, conds, side)
+        if name == "compl":
+            self._expect("(")
+            inner = self.expr()
+            self._expect(")")
+            return complement(inner)
+        return Rel(name)
+
+
+def parse(text: str) -> Expr:
+    """Parse the TriAL text syntax into an expression AST.
+
+    >>> parse("join[1,3',3; 2=1'](E, E)")
+    join[1,3',3; 2=1'](E, E)
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,60 @@
+"""The semijoin fragment (Section 7, future work).
+
+The paper: *"there are other ways of restricting joins to keep the
+language closed […] namely use semi-joins instead.  Such restrictions
+are closely related to the guarded fragment of FO."*
+
+A semijoin ``e1 ⋉_{θ,η} e2`` keeps the e1-triples that join with *some*
+e2-triple; the anti-semijoin ``e1 ▷ e2`` keeps those that join with
+none.  Both are definable inside TriAL:
+
+* ``e1 ⋉ e2  =  e1 ✶^{1,2,3}_{θ,η} e2`` (output entirely from the left);
+* ``e1 ▷ e2  =  e1 − (e1 ⋉ e2)``,
+
+so this module provides builders producing those encodings plus a
+fragment classifier: an expression is in the *semijoin algebra* when
+every join keeps only left positions (out ⊆ {1,2,3}) and no star is
+used.  The paper notes some of its key queries (reachability!) are not
+expressible with semijoins alone — constructively visible here in that
+``reach_forward`` fails the classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.conditions import Cond, as_conditions
+from repro.core.expressions import Diff, Expr, Intersect, Join, Select, Star, Union
+
+__all__ = ["semijoin", "antijoin", "in_semijoin_algebra"]
+
+
+def semijoin(
+    left: Expr, right: Expr, conditions: str | Iterable[Cond] = ""
+) -> Join:
+    """``left ⋉_{θ,η} right`` — left triples with at least one match."""
+    return Join(left, right, (0, 1, 2), as_conditions(conditions))
+
+
+def antijoin(
+    left: Expr, right: Expr, conditions: str | Iterable[Cond] = ""
+) -> Diff:
+    """``left ▷_{θ,η} right`` — left triples with no match."""
+    return Diff(left, semijoin(left, right, conditions))
+
+
+def in_semijoin_algebra(expr: Expr) -> bool:
+    """Is the expression inside the semijoin restriction of TriAL?
+
+    Every join's output must come entirely from its left operand and no
+    recursion is allowed (the guarded fragment has no fixpoints).
+    Set operations and selections are unrestricted.
+    """
+    for node in expr.walk():
+        if isinstance(node, Star):
+            return False
+        if isinstance(node, Join) and any(i >= 3 for i in node.out):
+            return False
+        if not isinstance(node, (Join, Select, Union, Diff, Intersect)) and node.children():
+            return False
+    return True

@@ -1,0 +1,48 @@
+"""TripleDatalog¬ / ReachTripleDatalog¬ (Section 4) and translations."""
+
+from repro.datalog.ast import (
+    Atom,
+    DConst,
+    DVar,
+    EqLit,
+    Literal,
+    Program,
+    RelLit,
+    Rule,
+    SimLit,
+)
+from repro.datalog.evaluator import DatalogEvaluator, run_program, stratify
+from repro.datalog.parser import parse_program
+from repro.datalog.translate import datalog_to_trial, trial_to_datalog
+from repro.datalog.validate import (
+    is_nonrecursive,
+    is_reach_triple_datalog,
+    is_triple_datalog,
+    is_triple_datalog_rule,
+    recursive_predicates,
+    validate_fragment,
+)
+
+__all__ = [
+    "Atom",
+    "DConst",
+    "DVar",
+    "DatalogEvaluator",
+    "EqLit",
+    "Literal",
+    "Program",
+    "RelLit",
+    "Rule",
+    "SimLit",
+    "datalog_to_trial",
+    "is_nonrecursive",
+    "is_reach_triple_datalog",
+    "is_triple_datalog",
+    "is_triple_datalog_rule",
+    "parse_program",
+    "recursive_predicates",
+    "run_program",
+    "stratify",
+    "trial_to_datalog",
+    "validate_fragment",
+]

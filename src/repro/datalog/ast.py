@@ -1,0 +1,224 @@
+"""Datalog AST for the paper's TripleDatalog¬ fragments (Section 4).
+
+Rules have the shape (1) of the paper::
+
+    S(x̄) ← S1(x̄1), S2(x̄2), ∼(y1,z1), …, u1 = v1, …
+
+with relational literals of arity ≤ 3 (possibly negated), data-equality
+literals ``∼`` (possibly negated) and (in)equality literals.  The
+generic evaluator accepts arbitrary stratified programs built from
+these pieces; the validators in :mod:`repro.datalog.validate` check
+membership in the exact paper fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Union
+
+from repro.errors import DatalogError
+
+
+@dataclass(frozen=True)
+class DVar:
+    """A Datalog variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class DConst:
+    """A constant (object or data value, depending on the literal)."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+DTerm = Union[DVar, DConst]
+
+
+def _as_dterm(t: "DTerm | str") -> DTerm:
+    return DVar(t) if isinstance(t, str) else t
+
+
+@dataclass(frozen=True, repr=False)
+class Atom:
+    """``pred(t1, …, tk)`` with k ≤ 3."""
+
+    pred: str
+    args: tuple[DTerm, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(_as_dterm(a) for a in self.args))
+        if not 1 <= len(self.args) <= 3:
+            raise DatalogError(
+                f"predicates have arity 1..3 in this fragment, got {len(self.args)}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(a.name for a in self.args if isinstance(a, DVar))
+
+    def __repr__(self) -> str:
+        return f"{self.pred}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True, repr=False)
+class RelLit:
+    """A (possibly negated) relational body literal."""
+
+    atom: Atom
+    negated: bool = False
+
+    def variables(self) -> frozenset[str]:
+        return self.atom.variables()
+
+    def __repr__(self) -> str:
+        return f"not {self.atom!r}" if self.negated else repr(self.atom)
+
+
+@dataclass(frozen=True, repr=False)
+class SimLit:
+    """``∼(l, r)`` — equal data values (ρ(l) = ρ(r)); possibly negated."""
+
+    left: DTerm
+    right: DTerm
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "left", _as_dterm(self.left))
+        object.__setattr__(self, "right", _as_dterm(self.right))
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(
+            t.name for t in (self.left, self.right) if isinstance(t, DVar)
+        )
+
+    def __repr__(self) -> str:
+        body = f"~({self.left!r}, {self.right!r})"
+        return f"not {body}" if self.negated else body
+
+
+@dataclass(frozen=True, repr=False)
+class EqLit:
+    """``l = r`` or ``l != r`` over objects."""
+
+    left: DTerm
+    right: DTerm
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "left", _as_dterm(self.left))
+        object.__setattr__(self, "right", _as_dterm(self.right))
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(
+            t.name for t in (self.left, self.right) if isinstance(t, DVar)
+        )
+
+    def __repr__(self) -> str:
+        op = "!=" if self.negated else "="
+        return f"{self.left!r} {op} {self.right!r}"
+
+
+Literal = Union[RelLit, SimLit, EqLit]
+
+
+@dataclass(frozen=True, repr=False)
+class Rule:
+    """``head ← body``."""
+
+    head: Atom
+    body: tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        self._check_safety()
+
+    def _check_safety(self) -> None:
+        positive = frozenset().union(
+            *(
+                lit.variables()
+                for lit in self.body
+                if isinstance(lit, RelLit) and not lit.negated
+            ),
+            frozenset(),
+        )
+        # Variables bound by a positive equality with a constant also count.
+        for lit in self.body:
+            if isinstance(lit, EqLit) and not lit.negated:
+                if isinstance(lit.left, DVar) and isinstance(lit.right, DConst):
+                    positive |= {lit.left.name}
+                if isinstance(lit.right, DVar) and isinstance(lit.left, DConst):
+                    positive |= {lit.right.name}
+        unsafe = self.head.variables() - positive
+        if unsafe:
+            raise DatalogError(
+                f"unsafe rule: head variables {sorted(unsafe)} not bound by a "
+                f"positive body atom in {self!r}"
+            )
+        for lit in self.body:
+            if isinstance(lit, (SimLit, EqLit)) or (
+                isinstance(lit, RelLit) and lit.negated
+            ):
+                loose = lit.variables() - positive
+                if loose:
+                    raise DatalogError(
+                        f"unsafe rule: variables {sorted(loose)} of {lit!r} not "
+                        "bound by a positive body atom"
+                    )
+
+    def rel_literals(self) -> tuple[RelLit, ...]:
+        return tuple(l for l in self.body if isinstance(l, RelLit))
+
+    def __repr__(self) -> str:
+        return f"{self.head!r} :- {', '.join(map(repr, self.body))}."
+
+
+@dataclass(frozen=True, repr=False)
+class Program:
+    """A finite set of rules with a designated answer predicate."""
+
+    rules: tuple[Rule, ...]
+    answer: str = "Ans"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def idb_predicates(self) -> frozenset[str]:
+        """Predicates defined by some rule head."""
+        return frozenset(r.head.pred for r in self.rules)
+
+    def edb_predicates(self) -> frozenset[str]:
+        """Predicates only read (must come from the triplestore)."""
+        idb = self.idb_predicates()
+        out: set[str] = set()
+        for rule in self.rules:
+            for lit in rule.rel_literals():
+                if lit.atom.pred not in idb:
+                    out.add(lit.atom.pred)
+        return frozenset(out)
+
+    def rules_for(self, pred: str) -> tuple[Rule, ...]:
+        return tuple(r for r in self.rules if r.head.pred == pred)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def size(self) -> int:
+        """A node-count measure |Π| used in Corollary 1 benchmarks."""
+        return sum(1 + len(r.body) for r in self.rules)
+
+    def __repr__(self) -> str:
+        return "\n".join(repr(r) for r in self.rules)

@@ -1,0 +1,151 @@
+"""Membership checks for the paper's exact Datalog fragments.
+
+*TripleDatalog¬* (Section 4, rule shape (1)): every rule has at most two
+relational body literals (arity ≤ 3), plus ∼-literals and (in)equality
+literals, all possibly negated; head variables come from the body.  A
+program must additionally be *nonrecursive* for Proposition 2.
+
+*ReachTripleDatalog¬* (Theorem 2): TripleDatalog¬ where each recursive
+predicate S is the head of exactly two rules::
+
+    S(x̄) ← R(x̄)
+    S(x̄) ← S(x̄1), R(x̄2), V(y1,z1), …, V(yk,zk)
+
+with R nonrecursive and each V an (in)equality or (¬)∼ literal.
+
+Note on "R is a nonrecursive predicate": read literally this would make
+nested Kleene stars untranslatable, contradicting Theorem 2 (query Q
+itself nests two stars).  We therefore read it as "R is defined in a
+strictly earlier stratum than S" — R may itself be recursive, as long
+as it does not depend on S.  This is exactly what the Theorem 2 proof
+produces when translating nested stars.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatalogError
+from repro.datalog.ast import Atom, DVar, EqLit, Program, RelLit, Rule, SimLit
+from repro.datalog.evaluator import dependency_edges, stratify
+
+
+def is_triple_datalog_rule(rule: Rule) -> bool:
+    """Does the rule match shape (1) (≤ 2 relational literals, arity ≤ 3)?"""
+    rels = rule.rel_literals()
+    if len(rels) > 2:
+        return False
+    if any(lit.atom.arity > 3 for lit in rels) or rule.head.arity > 3:
+        return False
+    body_vars = frozenset().union(
+        *(lit.variables() for lit in rels), frozenset()
+    )
+    for lit in rule.body:
+        if not isinstance(lit, RelLit) and not lit.variables() <= body_vars:
+            return False
+    return rule.head.variables() <= body_vars
+
+
+def is_nonrecursive(program: Program) -> bool:
+    """No IDB predicate depends on itself (directly or transitively)."""
+    try:
+        sccs = stratify(program)
+    except DatalogError:
+        return False  # negation through recursion is in particular recursion
+    edges = dependency_edges(program)
+    self_loop = {h for h, b, _ in edges if h == b}
+    if self_loop:
+        return False
+    return all(len(component) == 1 for component in sccs)
+
+
+def is_triple_datalog(program: Program) -> bool:
+    """Nonrecursive TripleDatalog¬ (the Proposition 2 class)."""
+    return all(is_triple_datalog_rule(r) for r in program) and is_nonrecursive(program)
+
+
+def recursive_predicates(program: Program) -> frozenset[str]:
+    """IDB predicates participating in a dependency cycle."""
+    sccs = stratify(program)
+    edges = dependency_edges(program)
+    self_loop = {h for h, b, _ in edges if h == b}
+    cyclic = set(self_loop)
+    for component in sccs:
+        if len(component) > 1:
+            cyclic.update(component)
+    return frozenset(cyclic)
+
+
+def _is_reach_step_rule(rule: Rule, pred: str, earlier: frozenset[str]) -> bool:
+    """``S(x̄) ← S(x̄1), R(x̄2), V…`` with R from an earlier stratum."""
+    rels = rule.rel_literals()
+    if len(rels) != 2 or any(l.negated for l in rels):
+        return False
+    preds = [l.atom.pred for l in rels]
+    if preds.count(pred) != 1:
+        return False
+    other = preds[0] if preds[1] == pred else preds[1]
+    if other not in earlier:
+        return False
+    return all(
+        isinstance(l, (EqLit, SimLit)) for l in rule.body if not isinstance(l, RelLit)
+    )
+
+
+def _is_reach_base_rule(rule: Rule, earlier: frozenset[str]) -> bool:
+    """``S(x̄) ← R(x̄)`` — one positive earlier-stratum literal, same variables."""
+    rels = rule.rel_literals()
+    if len(rels) != 1 or rels[0].negated:
+        return False
+    if rels[0].atom.pred not in earlier:
+        return False
+    if any(not isinstance(l, RelLit) for l in rule.body):
+        return False
+    head_args = rule.head.args
+    body_args = rels[0].atom.args
+    return (
+        len(head_args) == len(body_args)
+        and all(isinstance(a, DVar) for a in head_args)
+        and head_args == body_args
+    )
+
+
+def is_reach_triple_datalog(program: Program) -> bool:
+    """Membership in ReachTripleDatalog¬ (the Theorem 2 class)."""
+    if not all(is_triple_datalog_rule(r) for r in program):
+        return False
+    try:
+        recursive = recursive_predicates(program)
+        strata = stratify(program)
+    except DatalogError:
+        return False
+    if any(len(component) > 1 for component in strata):
+        return False  # mutual recursion is outside the fragment
+    earlier: set[str] = set(program.edb_predicates())
+    for component in strata:
+        pred = component[0]
+        if pred in recursive:
+            rules = program.rules_for(pred)
+            if len(rules) != 2:
+                return False
+            base = [r for r in rules if _is_reach_base_rule(r, frozenset(earlier))]
+            step = [
+                r for r in rules if _is_reach_step_rule(r, pred, frozenset(earlier))
+            ]
+            if len(base) != 1 or len(step) != 1 or base[0] is step[0]:
+                return False
+        earlier.add(pred)
+    return True
+
+
+def validate_fragment(program: Program, fragment: str) -> None:
+    """Raise :class:`DatalogError` unless the program is in the fragment.
+
+    ``fragment`` is ``"TripleDatalog"`` or ``"ReachTripleDatalog"``.
+    """
+    if fragment == "TripleDatalog":
+        if not is_triple_datalog(program):
+            raise DatalogError("program is not nonrecursive TripleDatalog¬")
+    elif fragment == "ReachTripleDatalog":
+        if not is_reach_triple_datalog(program):
+            raise DatalogError("program is not ReachTripleDatalog¬")
+    else:
+        raise DatalogError(f"unknown fragment {fragment!r}")

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the TriAL reproduction.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing genuine bugs (``TypeError`` etc. propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TriplestoreError(ReproError):
+    """Problems with triplestore construction or access."""
+
+
+class UnknownRelationError(TriplestoreError):
+    """A query referenced a relation name the triplestore does not have."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = available
+        hint = f" (available: {', '.join(available)})" if available else ""
+        super().__init__(f"unknown relation {name!r}{hint}")
+
+
+class AlgebraError(ReproError):
+    """Malformed Triple Algebra expressions or conditions."""
+
+
+class FragmentError(AlgebraError):
+    """An expression was required to belong to a fragment but does not.
+
+    Raised, e.g., when the Proposition 4/5 fast algorithms are asked to
+    evaluate an expression outside TriAL= / reachTA=.
+    """
+
+
+class ParseError(ReproError):
+    """Syntax errors in any of the small text languages we parse."""
+
+    def __init__(self, message: str, text: str = "", pos: int | None = None):
+        self.text = text
+        self.pos = pos
+        if pos is not None:
+            snippet = text[max(0, pos - 20):pos + 20]
+            message = f"{message} at position {pos} (near {snippet!r})"
+        super().__init__(message)
+
+
+class DatalogError(ReproError):
+    """Malformed Datalog programs (shape violations, unsafe rules...)."""
+
+
+class StratificationError(DatalogError):
+    """The program uses negation through recursion and cannot be stratified."""
+
+
+class LogicError(ReproError):
+    """Malformed FO / TrCl formulas."""
+
+
+class TranslationError(ReproError):
+    """A language translation was asked for an unsupported construct."""
+
+
+class GraphError(ReproError):
+    """Problems with graph database construction or queries."""
+
+
+class EvaluationBudgetError(ReproError):
+    """An evaluation exceeded an explicit resource budget.
+
+    The universal relation U is cubic in the number of objects; engines
+    raise this instead of silently materialising enormous intermediates
+    when the caller sets a budget.
+    """

@@ -1,0 +1,110 @@
+"""Conjunctive queries over graph databases: CRPQs and CNREs (§6.2).
+
+A CNRE has the form ``ϕ(x̄) = ∃ȳ ⋀ᵢ (xᵢ --eᵢ--> yᵢ)`` where each ``eᵢ``
+is a nested regular expression and all variables come from ``x̄ ∪ ȳ``.
+CRPQs are the special case where each ``eᵢ`` is a plain regular
+expression.  Evaluation materialises each atom's binary relation and
+joins them by backtracking over variable assignments.
+
+These classes are monotone (Theorem 8 exploits this: adding edges never
+removes answers), which the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.automata.regex import Regex, parse_regex
+from repro.errors import GraphError
+from repro.graphdb.model import GraphDB, Node
+from repro.graphdb.nre import Nre, evaluate_nre, parse_nre
+from repro.graphdb.rpq import evaluate_rpq
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One conjunct ``x --e--> y``; ``expr`` is an NRE or a regex."""
+
+    x: str
+    expr: Nre | Regex
+    y: str
+
+
+class ConjunctiveQuery:
+    """A CNRE/CRPQ: atoms plus the tuple of free (output) variables.
+
+    >>> q = ConjunctiveQuery([Atom("x", parse_nre("a"), "y"),
+    ...                       Atom("y", parse_nre("b"), "z")], free=("x", "z"))
+    """
+
+    def __init__(self, atoms: Sequence[Atom], free: tuple[str, ...]) -> None:
+        if not atoms:
+            raise GraphError("conjunctive queries need at least one atom")
+        self.atoms = tuple(atoms)
+        all_vars = {v for a in self.atoms for v in (a.x, a.y)}
+        if not set(free) <= all_vars:
+            raise GraphError(f"free variables {set(free) - all_vars} not used in atoms")
+        self.free = tuple(free)
+        self.variables = frozenset(all_vars)
+
+    def num_variables(self) -> int:
+        """Distinct variables — Theorem 8 treats the ≤3-variable case."""
+        return len(self.variables)
+
+    def evaluate(self, graph: GraphDB) -> frozenset[tuple[Node, ...]]:
+        """All tuples for the free variables under some extension to ȳ."""
+        relations: list[tuple[str, str, frozenset[tuple[Node, Node]]]] = []
+        for atom in self.atoms:
+            if isinstance(atom.expr, Nre):
+                pairs = evaluate_nre(graph, atom.expr)
+            else:
+                pairs = evaluate_rpq(graph, atom.expr)
+            relations.append((atom.x, atom.y, pairs))
+
+        # Order atoms greedily: prefer ones sharing a bound variable.
+        solutions: list[dict[str, Node]] = [{}]
+        remaining = list(relations)
+        while remaining:
+            bound = set(solutions[0]) if solutions else set()
+            idx = next(
+                (
+                    i
+                    for i, (x, y, _) in enumerate(remaining)
+                    if x in bound or y in bound
+                ),
+                0,
+            )
+            x, y, pairs = remaining.pop(idx)
+            next_solutions: list[dict[str, Node]] = []
+            for sol in solutions:
+                for u, v in pairs:
+                    if x in sol and sol[x] != u:
+                        continue
+                    if y in sol and sol[y] != v:
+                        continue
+                    new = dict(sol)
+                    new[x] = u
+                    new[y] = v
+                    next_solutions.append(new)
+            solutions = next_solutions
+            if not solutions:
+                return frozenset()
+        return frozenset(tuple(sol[v] for v in self.free) for sol in solutions)
+
+
+def crpq(atoms: Sequence[tuple[str, str, str]], free: tuple[str, ...]) -> ConjunctiveQuery:
+    """Build a CRPQ from (x, regex_text, y) triples.
+
+    >>> q = crpq([("x", "a.b*", "y")], free=("x", "y"))
+    """
+    return ConjunctiveQuery(
+        [Atom(x, parse_regex(e), y) for x, e, y in atoms], free
+    )
+
+
+def cnre(atoms: Sequence[tuple[str, str, str]], free: tuple[str, ...]) -> ConjunctiveQuery:
+    """Build a CNRE from (x, nre_text, y) triples."""
+    return ConjunctiveQuery(
+        [Atom(x, parse_nre(e), y) for x, e, y in atoms], free
+    )

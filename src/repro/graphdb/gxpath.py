@@ -1,0 +1,363 @@
+"""GXPath — graph XPath with path complement and data tests (§6.2).
+
+Node formulas::
+
+    ϕ, ψ := ⊤ | ¬ϕ | ϕ∧ψ | ϕ∨ψ | ⟨α⟩ | ⟨α = β⟩ | ⟨α ≠ β⟩
+
+Path formulas::
+
+    α, β := ε | a | a⁻ | [ϕ] | α·β | α∪β | ᾱ | α* | α₌ | α₍≠₎
+
+The semantics follows the paper (and Libkin–Martens–Vrgoč): node
+formulas denote sets of nodes, path formulas sets of node pairs; the
+complement ``ᾱ`` is taken w.r.t. V × V; ``α*`` is the
+reflexive-transitive closure (it contains the diagonal); ``α₌``
+keeps the pairs of α whose endpoints carry equal data values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import GraphError
+from repro.graphdb.model import GraphDB, Node
+
+
+class NodeExpr:
+    """Base class of node formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "NodeExpr") -> "NodeAnd":
+        return NodeAnd(self, other)
+
+    def __or__(self, other: "NodeExpr") -> "NodeOr":
+        return NodeOr(self, other)
+
+    def __invert__(self) -> "NodeNot":
+        return NodeNot(self)
+
+    def walk(self) -> Iterator[object]:
+        yield self
+        for child in getattr(self, "children", lambda: ())():
+            yield from child.walk()
+
+
+class PathExpr:
+    """Base class of path formulas."""
+
+    __slots__ = ()
+
+    def __mul__(self, other: "PathExpr") -> "Concat":
+        return Concat(self, other)
+
+    def __or__(self, other: "PathExpr") -> "PathUnion":
+        return PathUnion(self, other)
+
+    def walk(self) -> Iterator[object]:
+        yield self
+        for child in getattr(self, "children", lambda: ())():
+            yield from child.walk()
+
+
+# -- node formulas ------------------------------------------------------ #
+
+@dataclass(frozen=True, repr=False)
+class Top(NodeExpr):
+    def __repr__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True, repr=False)
+class NodeNot(NodeExpr):
+    inner: NodeExpr
+
+    def children(self) -> tuple:
+        return (self.inner,)
+
+    def __repr__(self) -> str:
+        return f"¬{self.inner!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class NodeAnd(NodeExpr):
+    left: NodeExpr
+    right: NodeExpr
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}∧{self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class NodeOr(NodeExpr):
+    left: NodeExpr
+    right: NodeExpr
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}∨{self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class HasPath(NodeExpr):
+    """``⟨α⟩`` — nodes with an outgoing α-pair."""
+
+    path: PathExpr
+
+    def children(self) -> tuple:
+        return (self.path,)
+
+    def __repr__(self) -> str:
+        return f"⟨{self.path!r}⟩"
+
+
+@dataclass(frozen=True, repr=False)
+class DataNodeTest(NodeExpr):
+    """``⟨α = β⟩`` / ``⟨α ≠ β⟩`` — XPath-style data comparison."""
+
+    left: PathExpr
+    right: PathExpr
+    equal: bool = True
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        op = "=" if self.equal else "≠"
+        return f"⟨{self.left!r} {op} {self.right!r}⟩"
+
+
+# -- path formulas ------------------------------------------------------ #
+
+@dataclass(frozen=True, repr=False)
+class Eps(PathExpr):
+    def __repr__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True, repr=False)
+class Axis(PathExpr):
+    """A forward (``a``) or backward (``a⁻``) edge step."""
+
+    label: str
+    forward: bool = True
+
+    def __repr__(self) -> str:
+        return self.label if self.forward else f"{self.label}⁻"
+
+
+@dataclass(frozen=True, repr=False)
+class Test(PathExpr):
+    """``[ϕ]`` — the diagonal restricted to nodes satisfying ϕ."""
+
+    #: Keep pytest from collecting this class as a test case.
+    __test__ = False
+
+    node: NodeExpr
+
+    def children(self) -> tuple:
+        return (self.node,)
+
+    def __repr__(self) -> str:
+        return f"[{self.node!r}]"
+
+
+@dataclass(frozen=True, repr=False)
+class Concat(PathExpr):
+    left: PathExpr
+    right: PathExpr
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}·{self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class PathUnion(PathExpr):
+    left: PathExpr
+    right: PathExpr
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}∪{self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class PathComplement(PathExpr):
+    """``ᾱ`` — V × V minus α."""
+
+    inner: PathExpr
+
+    def children(self) -> tuple:
+        return (self.inner,)
+
+    def __repr__(self) -> str:
+        return f"compl({self.inner!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class StarPath(PathExpr):
+    """``α*`` — reflexive-transitive closure."""
+
+    inner: PathExpr
+
+    def children(self) -> tuple:
+        return (self.inner,)
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r}*"
+
+
+@dataclass(frozen=True, repr=False)
+class DataPathTest(PathExpr):
+    """``α₌`` / ``α₍≠₎`` — endpoint data comparison (regexes with equality)."""
+
+    inner: PathExpr
+    equal: bool = True
+
+    def children(self) -> tuple:
+        return (self.inner,)
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r}{'₌' if self.equal else '≠'}"
+
+
+def uses_data(expr: PathExpr | NodeExpr) -> bool:
+    """Does the expression belong to GXPath(∼) proper (data tests used)?"""
+    return any(isinstance(n, (DataPathTest, DataNodeTest)) for n in expr.walk())
+
+
+# -- evaluation ---------------------------------------------------------- #
+
+def _transitive_closure(
+    pairs: frozenset[tuple[Node, Node]], nodes: frozenset[Node]
+) -> frozenset[tuple[Node, Node]]:
+    succ: dict[Node, set[Node]] = {}
+    for u, v in pairs:
+        succ.setdefault(u, set()).add(v)
+    closure: set[tuple[Node, Node]] = {(v, v) for v in nodes}
+    for source in nodes:
+        seen: set[Node] = set()
+        frontier = set(succ.get(source, ()))
+        while frontier:
+            seen |= frontier
+            frontier = {
+                w for v in frontier for w in succ.get(v, ()) if w not in seen
+            }
+        closure.update((source, v) for v in seen)
+    return frozenset(closure)
+
+
+class GXPathEvaluator:
+    """Evaluates node and path formulas over one graph, with memoisation."""
+
+    def __init__(self, graph: GraphDB) -> None:
+        self.graph = graph
+        self._node_cache: dict[NodeExpr, frozenset[Node]] = {}
+        self._path_cache: dict[PathExpr, frozenset[tuple[Node, Node]]] = {}
+
+    # -- node formulas ------------------------------------------------- #
+
+    def nodes(self, expr: NodeExpr) -> frozenset[Node]:
+        cached = self._node_cache.get(expr)
+        if cached is not None:
+            return cached
+        result = self._nodes(expr)
+        self._node_cache[expr] = result
+        return result
+
+    def _nodes(self, expr: NodeExpr) -> frozenset[Node]:
+        g = self.graph
+        if isinstance(expr, Top):
+            return g.nodes
+        if isinstance(expr, NodeNot):
+            return g.nodes - self.nodes(expr.inner)
+        if isinstance(expr, NodeAnd):
+            return self.nodes(expr.left) & self.nodes(expr.right)
+        if isinstance(expr, NodeOr):
+            return self.nodes(expr.left) | self.nodes(expr.right)
+        if isinstance(expr, HasPath):
+            return frozenset(u for u, _ in self.pairs(expr.path))
+        if isinstance(expr, DataNodeTest):
+            left = self.pairs(expr.left)
+            right = self.pairs(expr.right)
+            left_vals: dict[Node, set] = {}
+            for u, v in left:
+                left_vals.setdefault(u, set()).add(g.rho(v))
+            right_vals: dict[Node, set] = {}
+            for u, v in right:
+                right_vals.setdefault(u, set()).add(g.rho(v))
+            out = set()
+            for u in left_vals.keys() & right_vals.keys():
+                lv, rv = left_vals[u], right_vals[u]
+                if expr.equal:
+                    if lv & rv:
+                        out.add(u)
+                else:
+                    if len(lv) > 1 or len(rv) > 1 or lv != rv:
+                        out.add(u)
+            return frozenset(out)
+        raise GraphError(f"unknown node formula {type(expr).__name__}")
+
+    # -- path formulas --------------------------------------------------- #
+
+    def pairs(self, expr: PathExpr) -> frozenset[tuple[Node, Node]]:
+        cached = self._path_cache.get(expr)
+        if cached is not None:
+            return cached
+        result = self._pairs(expr)
+        self._path_cache[expr] = result
+        return result
+
+    def _pairs(self, expr: PathExpr) -> frozenset[tuple[Node, Node]]:
+        g = self.graph
+        if isinstance(expr, Eps):
+            return frozenset((v, v) for v in g.nodes)
+        if isinstance(expr, Axis):
+            pairs = g.label_pairs(expr.label)
+            if expr.forward:
+                return pairs
+            return frozenset((v, u) for u, v in pairs)
+        if isinstance(expr, Test):
+            return frozenset((v, v) for v in self.nodes(expr.node))
+        if isinstance(expr, Concat):
+            left = self.pairs(expr.left)
+            right = self.pairs(expr.right)
+            by_source: dict[Node, set[Node]] = {}
+            for u, v in right:
+                by_source.setdefault(u, set()).add(v)
+            return frozenset(
+                (u, w) for u, v in left for w in by_source.get(v, ())
+            )
+        if isinstance(expr, PathUnion):
+            return self.pairs(expr.left) | self.pairs(expr.right)
+        if isinstance(expr, PathComplement):
+            return g.all_pairs() - self.pairs(expr.inner)
+        if isinstance(expr, StarPath):
+            return _transitive_closure(self.pairs(expr.inner), g.nodes)
+        if isinstance(expr, DataPathTest):
+            pairs = self.pairs(expr.inner)
+            if expr.equal:
+                return frozenset((u, v) for u, v in pairs if g.rho(u) == g.rho(v))
+            return frozenset((u, v) for u, v in pairs if g.rho(u) != g.rho(v))
+        raise GraphError(f"unknown path formula {type(expr).__name__}")
+
+
+def evaluate_gxpath(graph: GraphDB, expr: PathExpr) -> frozenset[tuple[Node, Node]]:
+    """Evaluate a path formula over a graph."""
+    return GXPathEvaluator(graph).pairs(expr)
+
+
+def evaluate_gxpath_nodes(graph: GraphDB, expr: NodeExpr) -> frozenset[Node]:
+    """Evaluate a node formula over a graph."""
+    return GXPathEvaluator(graph).nodes(expr)

@@ -1,0 +1,228 @@
+"""Text syntax for GXPath(∼) path and node formulas.
+
+Grammar (whitespace-insensitive)::
+
+    path     := concat ("|" concat)*                 # union
+    concat   := postfix ("/" postfix)*               # composition
+    postfix  := atom ("*" | "{=}" | "{!=}")*         # star, data tests α₌ / α₍≠₎
+    atom     := LABEL | LABEL "-"                    # forward / backward axis
+              | "_"                                  # ε
+              | "!" atom                             # path complement ᾱ
+              | "[" node "]"                         # node test
+              | "(" path ")"
+    node     := nodeand ("or" nodeand)*
+    nodeand  := nodeatom ("and" nodeatom)*
+    nodeatom := "top" | "not" nodeatom
+              | "<" path ">"                         # ⟨α⟩
+              | "<" path "=" path ">"                # ⟨α = β⟩
+              | "<" path "!=" path ">"               # ⟨α ≠ β⟩
+              | "(" node ")"
+
+Examples::
+
+    parse_gxpath("a/[<b>]/a*")          # a·[⟨b⟩]·a*
+    parse_gxpath("!(a/b) | c-")         # complement and inverse
+    parse_gxpath("(a/b){=}")            # data-equality test on endpoints
+    parse_gxpath_node("<a> and not <b{!=}>")
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.graphdb.gxpath import (
+    Axis,
+    Concat,
+    DataNodeTest,
+    DataPathTest,
+    Eps,
+    HasPath,
+    NodeAnd,
+    NodeExpr,
+    NodeNot,
+    NodeOr,
+    PathComplement,
+    PathExpr,
+    PathUnion,
+    StarPath,
+    Test,
+    Top,
+)
+
+_LABEL_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*|'[^']*'")
+_KEYWORDS = {"or", "and", "not", "top"}
+
+
+class _GXParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # -- plumbing -------------------------------------------------------
+
+    def _skip(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _match(self, token: str) -> bool:
+        self._skip()
+        if self.text.startswith(token, self.pos):
+            self.pos += len(token)
+            return True
+        return False
+
+    def _expect(self, token: str) -> None:
+        if not self._match(token):
+            raise ParseError(f"expected {token!r}", self.text, self.pos)
+
+    def _keyword(self, word: str) -> bool:
+        self._skip()
+        end = self.pos + len(word)
+        if self.text.startswith(word, self.pos):
+            after = self.text[end:end + 1]
+            if not (after.isalnum() or after == "_"):
+                self.pos = end
+                return True
+        return False
+
+    def _label(self) -> str | None:
+        self._skip()
+        m = _LABEL_RE.match(self.text, self.pos)
+        if not m:
+            return None
+        word = m.group()
+        if word in _KEYWORDS:
+            return None
+        self.pos = m.end()
+        return word[1:-1] if word.startswith("'") else word
+
+    # -- paths ------------------------------------------------------------
+
+    def parse_path(self) -> PathExpr:
+        node = self.path()
+        self._skip()
+        if self.pos != len(self.text):
+            raise ParseError("trailing GXPath input", self.text, self.pos)
+        return node
+
+    def path(self) -> PathExpr:
+        node = self.concat()
+        while self._peek() == "|":
+            self.pos += 1
+            node = PathUnion(node, self.concat())
+        return node
+
+    def concat(self) -> PathExpr:
+        node = self.postfix()
+        while self._peek() == "/":
+            self.pos += 1
+            node = Concat(node, self.postfix())
+        return node
+
+    def postfix(self) -> PathExpr:
+        node = self.atom()
+        while True:
+            if self._match("*"):
+                node = StarPath(node)
+            elif self._match("{=}"):
+                node = DataPathTest(node, True)
+            elif self._match("{!=}"):
+                node = DataPathTest(node, False)
+            else:
+                return node
+
+    def atom(self) -> PathExpr:
+        ch = self._peek()
+        if ch == "!":
+            self.pos += 1
+            return PathComplement(self.atom())
+        if ch == "(":
+            self.pos += 1
+            inner = self.path()
+            self._expect(")")
+            return inner
+        if ch == "[":
+            self.pos += 1
+            inner = self.node()
+            self._expect("]")
+            return Test(inner)
+        if ch == "_":
+            self.pos += 1
+            return Eps()
+        label = self._label()
+        if label is None:
+            raise ParseError("expected a path atom", self.text, self.pos)
+        if self._peek() == "-":
+            self.pos += 1
+            return Axis(label, forward=False)
+        return Axis(label, forward=True)
+
+    # -- node formulas ------------------------------------------------------
+
+    def parse_node(self) -> NodeExpr:
+        node = self.node()
+        self._skip()
+        if self.pos != len(self.text):
+            raise ParseError("trailing GXPath node input", self.text, self.pos)
+        return node
+
+    def node(self) -> NodeExpr:
+        left = self.node_and()
+        while self._keyword("or"):
+            left = NodeOr(left, self.node_and())
+        return left
+
+    def node_and(self) -> NodeExpr:
+        left = self.node_atom()
+        while self._keyword("and"):
+            left = NodeAnd(left, self.node_atom())
+        return left
+
+    def node_atom(self) -> NodeExpr:
+        if self._keyword("not"):
+            return NodeNot(self.node_atom())
+        if self._keyword("top"):
+            return Top()
+        ch = self._peek()
+        if ch == "(":
+            self.pos += 1
+            inner = self.node()
+            self._expect(")")
+            return inner
+        if ch == "<":
+            self.pos += 1
+            alpha = self.path()
+            if self._match("!="):
+                beta = self.path()
+                self._expect(">")
+                return DataNodeTest(alpha, beta, False)
+            if self._match("="):
+                beta = self.path()
+                self._expect(">")
+                return DataNodeTest(alpha, beta, True)
+            self._expect(">")
+            return HasPath(alpha)
+        raise ParseError("expected a node formula", self.text, self.pos)
+
+
+def parse_gxpath(text: str) -> PathExpr:
+    """Parse a GXPath(∼) path formula.
+
+    >>> parse_gxpath("a/[<b>]/a*")
+    ((a·[⟨b⟩])·a*)
+    """
+    return _GXParser(text).parse_path()
+
+
+def parse_gxpath_node(text: str) -> NodeExpr:
+    """Parse a GXPath(∼) node formula.
+
+    >>> parse_gxpath_node("<a> and not top")
+    (⟨a⟩∧¬⊤)
+    """
+    return _GXParser(text).parse_node()

@@ -1,0 +1,116 @@
+"""Graph databases (Section 2.1): edge-labelled graphs with data values.
+
+``G = (V, E, ρ)`` where ``E ⊆ V × Σ × V`` and ``ρ : V → D``.  The class
+also records the finite alphabet Σ explicitly (it may include labels not
+currently used by any edge, which matters for complement semantics in
+GXPath only through *edges*, and for the encoding into triplestores).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from typing import Any
+
+from repro.errors import GraphError
+from repro.triplestore.model import Triplestore
+
+Node = Hashable
+Edge = tuple[Any, str, Any]
+
+
+class GraphDB:
+    """An edge-labelled graph with optional data values on nodes."""
+
+    __slots__ = ("nodes", "edges", "sigma", "_rho", "_fwd", "_bwd")
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        edges: Iterable[Edge],
+        rho: Mapping[Node, Any] | None = None,
+        sigma: Iterable[str] | None = None,
+    ) -> None:
+        self.nodes: frozenset[Node] = frozenset(nodes)
+        edge_set = frozenset((u, str(a), v) for u, a, v in edges)
+        for u, a, v in edge_set:
+            if u not in self.nodes or v not in self.nodes:
+                raise GraphError(f"edge ({u!r}, {a!r}, {v!r}) uses unknown nodes")
+        self.edges: frozenset[Edge] = edge_set
+        labels = {a for _, a, _ in edge_set}
+        if sigma is not None:
+            sigma = frozenset(str(s) for s in sigma)
+            if not labels <= sigma:
+                raise GraphError(f"edges use labels outside sigma: {labels - sigma}")
+            self.sigma = sigma
+        else:
+            self.sigma = frozenset(labels)
+        self._rho: dict[Node, Any] = dict(rho or {})
+        self._fwd: dict[tuple[Node, str], set[Node]] = {}
+        self._bwd: dict[tuple[Node, str], set[Node]] = {}
+        for u, a, v in edge_set:
+            self._fwd.setdefault((u, a), set()).add(v)
+            self._bwd.setdefault((v, a), set()).add(u)
+
+    # ------------------------------------------------------------------ #
+
+    def rho(self, node: Node) -> Any:
+        """Data value of a node (None when unassigned)."""
+        return self._rho.get(node)
+
+    def rho_map(self) -> dict[Node, Any]:
+        return dict(self._rho)
+
+    def successors(self, node: Node, label: str) -> frozenset[Node]:
+        """Targets of ``label``-edges out of ``node``."""
+        return frozenset(self._fwd.get((node, label), ()))
+
+    def predecessors(self, node: Node, label: str) -> frozenset[Node]:
+        """Sources of ``label``-edges into ``node``."""
+        return frozenset(self._bwd.get((node, label), ()))
+
+    def label_pairs(self, label: str) -> frozenset[tuple[Node, Node]]:
+        """All (u, v) with a ``label``-edge."""
+        return frozenset((u, v) for u, a, v in self.edges if a == label)
+
+    def all_pairs(self) -> frozenset[tuple[Node, Node]]:
+        """V × V — the complement universe for GXPath path negation."""
+        return frozenset((u, v) for u in self.nodes for v in self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphDB):
+            return NotImplemented
+        return (
+            self.nodes == other.nodes
+            and self.edges == other.edges
+            and self._rho == other._rho
+            and self.sigma == other.sigma
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.nodes, self.edges, frozenset(self._rho.items()), self.sigma))
+
+    def __repr__(self) -> str:
+        return f"GraphDB(|V|={len(self.nodes)}, |E|={len(self.edges)}, Σ={sorted(self.sigma)})"
+
+    # ------------------------------------------------------------------ #
+
+    def to_triplestore(self, relation: str = "E") -> Triplestore:
+        """The paper's encoding T_G (Section 6.2): O = V ∪ Σ.
+
+        Each edge (u, a, v) becomes the triple (u, a, v); node data
+        values are carried over (labels get none).  Isolated nodes are
+        preserved through ``extra_objects``.
+        """
+        overlap = self.nodes & self.sigma
+        if overlap:
+            raise GraphError(
+                f"nodes and labels must be disjoint for the T_G encoding: {overlap}"
+            )
+        return Triplestore(
+            {relation: self.edges},
+            rho=self._rho,
+            extra_objects=self.nodes | self.sigma,
+        )

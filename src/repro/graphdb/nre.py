@@ -1,0 +1,220 @@
+"""Nested regular expressions (NREs), Section 2.1.
+
+Grammar::
+
+    e := ε | a | a⁻ | e·e | e* | e+e | [e]
+
+The nesting operator ``[e]`` is the XPath-style node test: pairs (u, u)
+such that (u, v) is in the semantics of e for some v.  NREs embed into
+GXPath's positive fragment; we provide both a native evaluator (used by
+nSPARQL over RDF encodings) and the embedding (used by the translation
+to TriAL*).
+
+A compact text syntax is provided::
+
+    parse_nre("next.[edge.part_of].next*")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+from repro.graphdb import gxpath
+from repro.graphdb.model import GraphDB, Node
+
+
+class Nre:
+    """Base class of nested regular expressions."""
+
+    __slots__ = ()
+
+    def walk(self) -> Iterator["Nre"]:
+        yield self
+        for child in getattr(self, "children", lambda: ())():
+            yield from child.walk()
+
+
+@dataclass(frozen=True, repr=False)
+class NEps(Nre):
+    def __repr__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True, repr=False)
+class NLabel(Nre):
+    label: str
+    forward: bool = True
+
+    def __repr__(self) -> str:
+        return self.label if self.forward else f"{self.label}⁻"
+
+
+@dataclass(frozen=True, repr=False)
+class NConcat(Nre):
+    left: Nre
+    right: Nre
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}.{self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class NAlt(Nre):
+    left: Nre
+    right: Nre
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}+{self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class NStar(Nre):
+    inner: Nre
+
+    def children(self) -> tuple:
+        return (self.inner,)
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r}*"
+
+
+@dataclass(frozen=True, repr=False)
+class NTest(Nre):
+    """``[e]`` — nodes with an outgoing e-path, as a diagonal relation."""
+
+    inner: Nre
+
+    def children(self) -> tuple:
+        return (self.inner,)
+
+    def __repr__(self) -> str:
+        return f"[{self.inner!r}]"
+
+
+def nre_to_gxpath(expr: Nre) -> gxpath.PathExpr:
+    """Embed an NRE into GXPath's positive fragment.
+
+    ``[e]`` becomes ``[⟨e⟩]`` (a node-test of a has-path formula); the
+    star becomes GXPath's reflexive-transitive star, matching the NRE
+    convention that ``e*`` includes the empty path.
+    """
+    if isinstance(expr, NEps):
+        return gxpath.Eps()
+    if isinstance(expr, NLabel):
+        return gxpath.Axis(expr.label, expr.forward)
+    if isinstance(expr, NConcat):
+        return gxpath.Concat(nre_to_gxpath(expr.left), nre_to_gxpath(expr.right))
+    if isinstance(expr, NAlt):
+        return gxpath.PathUnion(nre_to_gxpath(expr.left), nre_to_gxpath(expr.right))
+    if isinstance(expr, NStar):
+        return gxpath.StarPath(nre_to_gxpath(expr.inner))
+    if isinstance(expr, NTest):
+        return gxpath.Test(gxpath.HasPath(nre_to_gxpath(expr.inner)))
+    raise TypeError(f"unknown NRE node {type(expr).__name__}")
+
+
+def evaluate_nre(graph: GraphDB, expr: Nre) -> frozenset[tuple[Node, Node]]:
+    """Evaluate an NRE over a graph database (binary relation on V)."""
+    return gxpath.evaluate_gxpath(graph, nre_to_gxpath(expr))
+
+
+# --------------------------------------------------------------------- #
+# Text syntax
+# --------------------------------------------------------------------- #
+
+_LABEL_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*|'[^']*'")
+
+
+class _NreParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def _skip(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def parse(self) -> Nre:
+        node = self.alt()
+        self._skip()
+        if self.pos != len(self.text):
+            raise ParseError("trailing NRE input", self.text, self.pos)
+        return node
+
+    def alt(self) -> Nre:
+        node = self.concat()
+        while self._peek() == "+":
+            self.pos += 1
+            node = NAlt(node, self.concat())
+        return node
+
+    def concat(self) -> Nre:
+        node = self.postfix()
+        while self._peek() == ".":
+            self.pos += 1
+            node = NConcat(node, self.postfix())
+        return node
+
+    def postfix(self) -> Nre:
+        node = self.atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self.pos += 1
+                node = NStar(node)
+            elif ch == "-" and isinstance(node, NLabel) and node.forward:
+                self.pos += 1
+                node = NLabel(node.label, forward=False)
+            else:
+                return node
+
+    def atom(self) -> Nre:
+        self._skip()
+        ch = self._peek()
+        if ch == "(":
+            self.pos += 1
+            if self._peek() == ")":
+                self.pos += 1
+                return NEps()
+            node = self.alt()
+            if self._peek() != ")":
+                raise ParseError("expected ')'", self.text, self.pos)
+            self.pos += 1
+            return node
+        if ch == "[":
+            self.pos += 1
+            node = self.alt()
+            if self._peek() != "]":
+                raise ParseError("expected ']'", self.text, self.pos)
+            self.pos += 1
+            return NTest(node)
+        m = _LABEL_RE.match(self.text, self.pos)
+        if not m:
+            raise ParseError("expected a label", self.text, self.pos)
+        self.pos = m.end()
+        label = m.group()
+        if label.startswith("'"):
+            label = label[1:-1]
+        return NLabel(label)
+
+
+def parse_nre(text: str) -> Nre:
+    """Parse the NRE text syntax.
+
+    >>> parse_nre("next.[edge.a].next*")
+    ((next.[(edge.a)]).next*)
+    """
+    return _NreParser(text).parse()

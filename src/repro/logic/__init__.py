@@ -1,0 +1,54 @@
+"""FO and transitive-closure logic over triplestore vocabularies (§4, §6.1)."""
+
+from repro.logic.fo import (
+    And,
+    ConstT,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    Sim,
+    Var,
+    active_domain,
+    and_all,
+    answers,
+    exists,
+    forall,
+    or_all,
+    rename,
+    satisfies,
+)
+from repro.logic.games import duplicator_wins, fo_k_equivalent
+from repro.logic.parser import parse_formula
+from repro.logic.trcl import Trcl, answers_trcl, satisfies_trcl
+
+__all__ = [
+    "And",
+    "ConstT",
+    "Eq",
+    "Exists",
+    "Forall",
+    "Formula",
+    "Not",
+    "Or",
+    "RelAtom",
+    "Sim",
+    "Trcl",
+    "Var",
+    "active_domain",
+    "and_all",
+    "answers",
+    "answers_trcl",
+    "exists",
+    "forall",
+    "or_all",
+    "parse_formula",
+    "duplicator_wins",
+    "fo_k_equivalent",
+    "rename",
+    "satisfies",
+    "satisfies_trcl",
+]

@@ -1,0 +1,571 @@
+"""First-order logic over the relational representation of triplestores.
+
+Section 4 of the paper fixes the vocabulary: one ternary symbol per
+triplestore relation plus the binary symbol ``∼`` holding pairs of
+objects with equal data values.  Section 6.1 compares TriAL with the
+bounded-variable fragments FOᵏ of this logic.
+
+Two evaluators are provided:
+
+* :func:`satisfies` — the textbook recursive truth definition under an
+  assignment (slow, obviously correct);
+* :func:`answers` — bottom-up evaluation computing, for every
+  subformula, the set of satisfying assignments over its free variables
+  (the standard polynomial-time algorithm; this is what makes the
+  Theorem 4 proof structures, with |O| = 24, tractable).
+
+Both use **active-domain semantics**, as the paper assumes throughout
+("we loose no generality in assuming active domain semantics").  The
+domain is the set of objects occurring in some triple of the store.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from repro.errors import LogicError
+from repro.triplestore.model import Triplestore
+
+
+# --------------------------------------------------------------------- #
+# Terms
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class Var:
+    """A first-order variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConstT:
+    """An object constant."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return f"!{self.value!r}"
+
+
+TermT = Var | ConstT
+
+
+def _as_term(t: "TermT | str") -> TermT:
+    return Var(t) if isinstance(t, str) else t
+
+
+# --------------------------------------------------------------------- #
+# Formulas
+# --------------------------------------------------------------------- #
+
+class Formula:
+    """Base class of FO formulas over ⟨E₁,…,Eₙ, ∼⟩."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def children(self) -> tuple["Formula", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Formula"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def free_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def all_vars(self) -> frozenset[str]:
+        """Every variable name occurring (free or bound) — the FOᵏ measure.
+
+        FOᵏ counts *names*: a formula is in FOᵏ when it can be written
+        with k distinct variables, reuse allowed.
+        """
+        out: set[str] = set()
+        for node in self.walk():
+            if isinstance(node, RelAtom):
+                out.update(t.name for t in node.terms if isinstance(t, Var))
+            elif isinstance(node, (Eq, Sim)):
+                for t in (node.left, node.right):
+                    if isinstance(t, Var):
+                        out.add(t.name)
+            elif isinstance(node, (Exists, Forall)):
+                out.add(node.var)
+            own = getattr(node, "own_var_names", None)
+            if own is not None:
+                out.update(own())
+        return frozenset(out)
+
+    def num_variables(self) -> int:
+        """Number of distinct variable names (membership in FOᵏ)."""
+        return len(self.all_vars())
+
+
+@dataclass(frozen=True, repr=False)
+class RelAtom(Formula):
+    """``E(t1, t2, t3)`` — a ternary relation atom."""
+
+    name: str
+    terms: tuple[TermT, TermT, TermT]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(_as_term(t) for t in self.terms))
+        if len(self.terms) != 3:
+            raise LogicError("relation atoms are ternary in this vocabulary")
+
+    def free_vars(self) -> frozenset[str]:
+        return frozenset(t.name for t in self.terms if isinstance(t, Var))
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.terms))})"
+
+
+@dataclass(frozen=True, repr=False)
+class Eq(Formula):
+    """``t1 = t2`` — object equality."""
+
+    left: TermT
+    right: TermT
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "left", _as_term(self.left))
+        object.__setattr__(self, "right", _as_term(self.right))
+
+    def free_vars(self) -> frozenset[str]:
+        return frozenset(t.name for t in (self.left, self.right) if isinstance(t, Var))
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} = {self.right!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class Sim(Formula):
+    """``∼(t1, t2)`` — same data value (ρ(t1) = ρ(t2))."""
+
+    left: TermT
+    right: TermT
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "left", _as_term(self.left))
+        object.__setattr__(self, "right", _as_term(self.right))
+
+    def free_vars(self) -> frozenset[str]:
+        return frozenset(t.name for t in (self.left, self.right) if isinstance(t, Var))
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} ~ {self.right!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class Not(Formula):
+    formula: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.formula,)
+
+    def free_vars(self) -> frozenset[str]:
+        return self.formula.free_vars()
+
+    def __repr__(self) -> str:
+        return f"¬({self.formula!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def free_vars(self) -> frozenset[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∧ {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def free_vars(self) -> frozenset[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∨ {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Exists(Formula):
+    var: str
+    formula: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.formula,)
+
+    def free_vars(self) -> frozenset[str]:
+        return self.formula.free_vars() - {self.var}
+
+    def __repr__(self) -> str:
+        return f"∃{self.var}({self.formula!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Forall(Formula):
+    var: str
+    formula: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.formula,)
+
+    def free_vars(self) -> frozenset[str]:
+        return self.formula.free_vars() - {self.var}
+
+    def __repr__(self) -> str:
+        return f"∀{self.var}({self.formula!r})"
+
+
+def exists(*vars_then_formula: Any) -> Formula:
+    """``exists("x", "y", phi)`` — nested existential quantifiers."""
+    *names, formula = vars_then_formula
+    for name in reversed(names):
+        formula = Exists(name, formula)
+    return formula
+
+
+def forall(*vars_then_formula: Any) -> Formula:
+    """``forall("x", "y", phi)`` — nested universal quantifiers."""
+    *names, formula = vars_then_formula
+    for name in reversed(names):
+        formula = Forall(name, formula)
+    return formula
+
+
+def and_all(formulas: list[Formula]) -> Formula:
+    """Conjunction of a nonempty list."""
+    if not formulas:
+        raise LogicError("and_all needs at least one conjunct")
+    acc = formulas[0]
+    for f in formulas[1:]:
+        acc = And(acc, f)
+    return acc
+
+
+def or_all(formulas: list[Formula]) -> Formula:
+    """Disjunction of a nonempty list."""
+    if not formulas:
+        raise LogicError("or_all needs at least one disjunct")
+    acc = formulas[0]
+    for f in formulas[1:]:
+        acc = Or(acc, f)
+    return acc
+
+
+# --------------------------------------------------------------------- #
+# Capture-avoiding renaming (used by the TriAL → FO⁶ translation)
+# --------------------------------------------------------------------- #
+
+def rename(formula: Formula, mapping: Mapping[str, str], pool: tuple[str, ...]) -> Formula:
+    """Substitute free variables per ``mapping``, avoiding capture.
+
+    Bound variables that would capture an image are renamed to a fresh
+    name drawn from ``pool`` first (falling back to generated names).
+    The TriAL → FO⁶ translation passes the six-name pool, keeping the
+    result inside FO⁶.
+    """
+    mapping = {k: v for k, v in mapping.items() if k != v}
+
+    def go(f: Formula, m: Mapping[str, str]) -> Formula:
+        if isinstance(f, RelAtom):
+            return RelAtom(
+                f.name,
+                tuple(
+                    Var(m.get(t.name, t.name)) if isinstance(t, Var) else t
+                    for t in f.terms
+                ),
+            )
+        if isinstance(f, (Eq, Sim)):
+            cls = type(f)
+            def sub(t: TermT) -> TermT:
+                return Var(m.get(t.name, t.name)) if isinstance(t, Var) else t
+            return cls(sub(f.left), sub(f.right))
+        if isinstance(f, Not):
+            return Not(go(f.formula, m))
+        if isinstance(f, And):
+            return And(go(f.left, m), go(f.right, m))
+        if isinstance(f, Or):
+            return Or(go(f.left, m), go(f.right, m))
+        if isinstance(f, (Exists, Forall)):
+            cls = type(f)
+            inner_map = {k: v for k, v in m.items() if k != f.var}
+            body_free = f.formula.free_vars() - {f.var}
+            relevant = {k: v for k, v in inner_map.items() if k in body_free}
+            # Free names of the body after substitution.
+            final_free = (body_free - set(relevant)) | set(relevant.values())
+            if f.var in final_free:
+                # The bound name would capture an incoming name: pick a
+                # fresh one and substitute everything in a single pass.
+                fresh = next(
+                    (name for name in pool if name not in final_free), None
+                )
+                if fresh is None:  # pool exhausted; generate a new name
+                    i = 0
+                    while f"_r{i}" in final_free:
+                        i += 1
+                    fresh = f"_r{i}"
+                relevant[f.var] = fresh
+                return cls(fresh, go(f.formula, relevant))
+            return cls(f.var, go(f.formula, relevant))
+        raise LogicError(f"unknown formula node {type(f).__name__}")
+
+    return go(formula, dict(mapping))
+
+
+# --------------------------------------------------------------------- #
+# Evaluation
+# --------------------------------------------------------------------- #
+
+def active_domain(store: Triplestore) -> frozenset:
+    """Objects occurring in some triple — the evaluation domain."""
+    domain: set = set()
+    for triple in store.all_triples():
+        domain.update(triple)
+    return frozenset(domain)
+
+
+def _resolve(term: TermT, assignment: Mapping[str, Any]) -> Any:
+    if isinstance(term, ConstT):
+        return term.value
+    try:
+        return assignment[term.name]
+    except KeyError:
+        raise LogicError(f"unbound variable {term.name}") from None
+
+
+def satisfies(
+    formula: Formula, store: Triplestore, assignment: Mapping[str, Any] | None = None
+) -> bool:
+    """Recursive truth evaluation under ``assignment`` (active domain)."""
+    asg = dict(assignment or {})
+    domain = active_domain(store)
+
+    def go(f: Formula, a: dict) -> bool:
+        if isinstance(f, RelAtom):
+            triple = tuple(_resolve(t, a) for t in f.terms)
+            return triple in store.relation(f.name)
+        if isinstance(f, Eq):
+            return _resolve(f.left, a) == _resolve(f.right, a)
+        if isinstance(f, Sim):
+            return store.rho(_resolve(f.left, a)) == store.rho(_resolve(f.right, a))
+        if isinstance(f, Not):
+            return not go(f.formula, a)
+        if isinstance(f, And):
+            return go(f.left, a) and go(f.right, a)
+        if isinstance(f, Or):
+            return go(f.left, a) or go(f.right, a)
+        if isinstance(f, Exists):
+            saved = a.get(f.var, _MISSING)
+            for obj in domain:
+                a[f.var] = obj
+                if go(f.formula, a):
+                    _restore(a, f.var, saved)
+                    return True
+            _restore(a, f.var, saved)
+            return False
+        if isinstance(f, Forall):
+            saved = a.get(f.var, _MISSING)
+            for obj in domain:
+                a[f.var] = obj
+                if not go(f.formula, a):
+                    _restore(a, f.var, saved)
+                    return False
+            _restore(a, f.var, saved)
+            return True
+        raise LogicError(f"unknown formula node {type(f).__name__}")
+
+    return go(formula, asg)
+
+
+_MISSING = object()
+
+
+def _restore(a: dict, var: str, saved: Any) -> None:
+    if saved is _MISSING:
+        a.pop(var, None)
+    else:
+        a[var] = saved
+
+
+class _Relation:
+    """A set of assignments over a fixed, sorted variable tuple."""
+
+    __slots__ = ("vars", "rows")
+
+    def __init__(self, vars_: tuple[str, ...], rows: set[tuple]) -> None:
+        self.vars = vars_
+        self.rows = rows
+
+    def project(self, keep: tuple[str, ...]) -> "_Relation":
+        idx = [self.vars.index(v) for v in keep]
+        return _Relation(keep, {tuple(r[i] for i in idx) for r in self.rows})
+
+
+def _join_relations(a: _Relation, b: _Relation) -> _Relation:
+    shared = tuple(v for v in a.vars if v in b.vars)
+    out_vars = a.vars + tuple(v for v in b.vars if v not in a.vars)
+    a_shared = [a.vars.index(v) for v in shared]
+    b_shared = [b.vars.index(v) for v in shared]
+    b_extra = [i for i, v in enumerate(b.vars) if v not in a.vars]
+    index: dict[tuple, list[tuple]] = {}
+    for row in b.rows:
+        index.setdefault(tuple(row[i] for i in b_shared), []).append(row)
+    rows: set[tuple] = set()
+    for row in a.rows:
+        for match in index.get(tuple(row[i] for i in a_shared), ()):
+            rows.add(row + tuple(match[i] for i in b_extra))
+    return _Relation(out_vars, rows)
+
+
+def answers(
+    formula: Formula,
+    store: Triplestore,
+    free_order: tuple[str, ...] | None = None,
+) -> frozenset[tuple]:
+    """All satisfying assignments, as tuples ordered by ``free_order``.
+
+    For a sentence the result is ``{()}`` (true) or ``frozenset()``
+    (false).  Bottom-up evaluation: each subformula becomes the relation
+    of its satisfying assignments; negation complements against
+    ``domain^k`` (active-domain semantics).
+    """
+    domain = active_domain(store)
+    free = formula.free_vars()
+    if free_order is None:
+        free_order = tuple(sorted(free))
+    if set(free_order) != free:
+        raise LogicError(f"free_order {free_order} != free variables {sorted(free)}")
+
+    def full(vars_: tuple[str, ...]) -> _Relation:
+        return _Relation(vars_, set(itertools.product(domain, repeat=len(vars_))))
+
+    def go(f: Formula) -> _Relation:
+        if isinstance(f, RelAtom):
+            return _atom_relation(f, store.relation(f.name))
+        if isinstance(f, Eq):
+            return _binary_relation(
+                f, {(o, o) for o in domain}, domain
+            )
+        if isinstance(f, Sim):
+            by_value: dict[Any, list] = {}
+            for o in domain:
+                by_value.setdefault(store.rho(o), []).append(o)
+            pairs = {
+                (o1, o2)
+                for group in by_value.values()
+                for o1 in group
+                for o2 in group
+            }
+            return _binary_relation(f, pairs, domain)
+        if isinstance(f, Not):
+            sub = go(f.formula)
+            vars_ = tuple(sorted(f.free_vars()))
+            sub = _expand(sub, vars_, domain)
+            return _Relation(
+                vars_,
+                set(itertools.product(domain, repeat=len(vars_))) - sub.rows,
+            )
+        if isinstance(f, And):
+            return _join_relations(go(f.left), go(f.right))
+        if isinstance(f, Or):
+            vars_ = tuple(sorted(f.free_vars()))
+            left = _expand(go(f.left), vars_, domain)
+            right = _expand(go(f.right), vars_, domain)
+            return _Relation(vars_, left.rows | right.rows)
+        if isinstance(f, Exists):
+            sub = go(f.formula)
+            if f.var not in sub.vars:
+                # var unconstrained: formula truth doesn't depend on it,
+                # but ∃ over a nonempty domain preserves the rows.
+                return sub if domain else _Relation(sub.vars, set())
+            keep = tuple(v for v in sub.vars if v != f.var)
+            return sub.project(keep)
+        if isinstance(f, Forall):
+            return go(Not(Exists(f.var, Not(f.formula))))
+        raise LogicError(f"unknown formula node {type(f).__name__}")
+
+    def _atom_relation(f: RelAtom, triples: frozenset) -> _Relation:
+        var_positions: dict[str, list[int]] = {}
+        for i, t in enumerate(f.terms):
+            if isinstance(t, Var):
+                var_positions.setdefault(t.name, []).append(i)
+        vars_ = tuple(sorted(var_positions))
+        rows: set[tuple] = set()
+        for triple in triples:
+            ok = True
+            for i, t in enumerate(f.terms):
+                if isinstance(t, ConstT) and triple[i] != t.value:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            row = []
+            for v in vars_:
+                positions = var_positions[v]
+                vals = {triple[i] for i in positions}
+                if len(vals) != 1:
+                    row = None
+                    break
+                row.append(triple[positions[0]])
+            if row is not None:
+                rows.add(tuple(row))
+        return _Relation(vars_, rows)
+
+    def _binary_relation(f: Eq | Sim, pairs: set[tuple], dom: frozenset) -> _Relation:
+        lt, rt = f.left, f.right
+        if isinstance(lt, Var) and isinstance(rt, Var):
+            if lt.name == rt.name:
+                return _Relation(
+                    (lt.name,), {(a,) for (a, b) in pairs if a == b}
+                )
+            vars_ = tuple(sorted((lt.name, rt.name)))
+            if vars_ == (lt.name, rt.name):
+                return _Relation(vars_, set(pairs))
+            return _Relation(vars_, {(b, a) for (a, b) in pairs})
+        if isinstance(lt, Var):
+            return _Relation(
+                (lt.name,), {(a,) for (a, b) in pairs if b == rt.value}
+            )
+        if isinstance(rt, Var):
+            return _Relation(
+                (rt.name,), {(b,) for (a, b) in pairs if a == lt.value}
+            )
+        truth = (lt.value, rt.value) in pairs
+        return _Relation((), {()} if truth else set())
+
+    def _expand(rel: _Relation, vars_: tuple[str, ...], dom: frozenset) -> _Relation:
+        missing = tuple(v for v in vars_ if v not in rel.vars)
+        if missing:
+            rel = _join_relations(rel, full(missing))
+        return rel.project(vars_)
+
+    result = _expand(go(formula), free_order, domain)
+    return frozenset(result.rows)

@@ -1,0 +1,225 @@
+"""Text syntax for FO and TrCl formulas over ⟨E₁,…,Eₙ, ∼⟩.
+
+Grammar (precedence: quantifiers/not > and > or)::
+
+    formula  := "exists" vars "(" formula ")"
+              | "forall" vars "(" formula ")"
+              | "not" formula
+              | disj
+    disj     := conj ("or" conj)*
+    conj     := atomish ("and" atomish)*
+    atomish  := NAME "(" term "," term "," term ")"      # relation atom
+              | "~" "(" term "," term ")"                # same data value
+              | term "=" term
+              | "[" "trcl" vars ";" vars formula "]" "(" terms ";" terms ")"
+              | "(" formula ")"
+              | "not" atomish
+    term     := NAME | "'" const "'"
+    vars     := NAME ("," NAME)*
+
+Examples::
+
+    parse_formula("exists y (E(x, y, z) and not x = z)")
+    parse_formula("[trcl x; y exists w (E(x, w, y))](u; v)")
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.logic.fo import (
+    And,
+    ConstT,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    Sim,
+    Var,
+)
+from repro.logic.trcl import Trcl
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*")
+_KEYWORDS = {"exists", "forall", "not", "and", "or", "trcl"}
+
+
+class _FOParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _skip(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _match(self, token: str) -> bool:
+        self._skip()
+        if self.text.startswith(token, self.pos):
+            self.pos += len(token)
+            return True
+        return False
+
+    def _expect(self, token: str) -> None:
+        if not self._match(token):
+            raise ParseError(f"expected {token!r}", self.text, self.pos)
+
+    def _keyword(self, word: str) -> bool:
+        self._skip()
+        if self.text.startswith(word, self.pos):
+            end = self.pos + len(word)
+            after = self.text[end:end + 1]
+            if not (after.isalnum() or after == "_"):
+                self.pos = end
+                return True
+        return False
+
+    def _peek_keyword(self, word: str) -> bool:
+        saved = self.pos
+        found = self._keyword(word)
+        self.pos = saved
+        return found
+
+    def _name(self) -> str:
+        self._skip()
+        m = _NAME_RE.match(self.text, self.pos)
+        if not m or m.group() in _KEYWORDS:
+            raise ParseError("expected a name", self.text, self.pos)
+        self.pos = m.end()
+        return m.group()
+
+    def _term(self):
+        self._skip()
+        if self._peek() == "'":
+            end = self.text.find("'", self.pos + 1)
+            if end < 0:
+                raise ParseError("unterminated constant", self.text, self.pos)
+            value = self.text[self.pos + 1:end]
+            self.pos = end + 1
+            return ConstT(value)
+        return Var(self._name())
+
+    def _var_list(self) -> tuple[str, ...]:
+        names = [self._name()]
+        while self._match(","):
+            names.append(self._name())
+        return tuple(names)
+
+    def _term_list(self):
+        terms = [self._term()]
+        while self._match(","):
+            terms.append(self._term())
+        return tuple(terms)
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> Formula:
+        formula = self.formula()
+        self._skip()
+        if self.pos != len(self.text):
+            raise ParseError("trailing formula input", self.text, self.pos)
+        return formula
+
+    def formula(self) -> Formula:
+        return self.disj()
+
+    def disj(self) -> Formula:
+        left = self.conj()
+        while self._peek_keyword("or"):
+            self._keyword("or")
+            left = Or(left, self.conj())
+        return left
+
+    def conj(self) -> Formula:
+        left = self.atomish()
+        while self._peek_keyword("and"):
+            self._keyword("and")
+            left = And(left, self.atomish())
+        return left
+
+    def atomish(self) -> Formula:
+        if self._keyword("not"):
+            return Not(self.atomish())
+        if self._keyword("exists"):
+            return self._quantified(Exists)
+        if self._keyword("forall"):
+            return self._quantified(Forall)
+        ch = self._peek()
+        if ch == "~":
+            self.pos += 1
+            self._expect("(")
+            left = self._term()
+            self._expect(",")
+            right = self._term()
+            self._expect(")")
+            return Sim(left, right)
+        if ch == "[":
+            return self._trcl()
+        if ch == "(":
+            self.pos += 1
+            inner = self.formula()
+            self._expect(")")
+            return inner
+        # Relation atom or equality.
+        saved = self.pos
+        first = self._term()
+        if self._peek() == "(" and isinstance(first, Var):
+            # It was a predicate name after all.
+            self.pos = saved
+            pred = self._name()
+            self._expect("(")
+            terms = self._term_list()
+            self._expect(")")
+            if len(terms) != 3:
+                raise ParseError(
+                    f"relation atoms are ternary; {pred} got {len(terms)} terms",
+                    self.text,
+                    self.pos,
+                )
+            return RelAtom(pred, terms)
+        self._expect("=")
+        right = self._term()
+        return Eq(first, right)
+
+    def _quantified(self, cls) -> Formula:
+        names = self._var_list()
+        self._expect("(")
+        body = self.formula()
+        self._expect(")")
+        for name in reversed(names):
+            body = cls(name, body)
+        return body
+
+    def _trcl(self) -> Formula:
+        self._expect("[")
+        if not self._keyword("trcl"):
+            raise ParseError("expected 'trcl'", self.text, self.pos)
+        xs = self._var_list()
+        self._expect(";")
+        ys = self._var_list()
+        inner = self.formula()
+        self._expect("]")
+        self._expect("(")
+        t1s = self._term_list()
+        self._expect(";")
+        t2s = self._term_list()
+        self._expect(")")
+        return Trcl(xs, ys, inner, t1s, t2s)
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse an FO/TrCl formula from text.
+
+    >>> parse_formula("exists y (E(x, y, z) and not x = z)")
+    ∃y((E(x, y, z) ∧ ¬(x = z)))
+    """
+    return _FOParser(text).parse()

@@ -1,0 +1,33 @@
+"""nTA — the n-tuple generalisation of TriAL (Section 7 future work)."""
+
+from repro.nary.algebra import (
+    NaryEngine,
+    NCond,
+    NDiff,
+    NExpr,
+    NJoin,
+    NRel,
+    NSelect,
+    NStar,
+    NUnion,
+    composition,
+    const,
+    transitive_closure,
+)
+from repro.nary.model import NaryStore
+
+__all__ = [
+    "NCond",
+    "NDiff",
+    "NExpr",
+    "NJoin",
+    "NRel",
+    "NSelect",
+    "NStar",
+    "NUnion",
+    "NaryEngine",
+    "NaryStore",
+    "composition",
+    "const",
+    "transitive_closure",
+]

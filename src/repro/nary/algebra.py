@@ -1,0 +1,326 @@
+"""The n-tuple algebra nTA — TriAL with 3 replaced by a fixed arity k.
+
+Joins take two k-ary relations, expose positions ``0..k-1`` (left) and
+``k..2k-1`` (right) to the conditions, and keep exactly k of them, so
+the algebra is closed over k-ary relations.  Kleene closures come in
+the same left/right flavours.  For k = 2 the composition join
+``out=(0, 3), cond 1=0'`` *is* relational composition and the right
+star is ordinary transitive closure — the paper's observation that the
+n = 2 case collapses to (the join fragment of) relation algebra; tests
+verify both this and that k = 3 coincides with the TriAL engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import AlgebraError
+from repro.nary.model import NaryStore
+
+
+# --------------------------------------------------------------------- #
+# Conditions (positions 0..2k-1; constants allowed)
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class NCond:
+    """(in)equality between positions/constants, on objects or ρ-values."""
+
+    left: Any   # int position or ("const", value)
+    right: Any
+    op: str = "="
+    on_data: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in ("=", "!="):
+            raise AlgebraError(f"bad operator {self.op!r}")
+
+    def evaluate(self, left_row: tuple, right_row: tuple | None, rho, k: int) -> bool:
+        def resolve(term):
+            if isinstance(term, tuple) and term and term[0] == "const":
+                return term[1]
+            if not isinstance(term, int):
+                raise AlgebraError(f"bad condition term {term!r}")
+            if term < k:
+                obj = left_row[term]
+            else:
+                if right_row is None:
+                    raise AlgebraError("condition references the right operand")
+                obj = right_row[term - k]
+            return rho(obj) if self.on_data else obj
+
+        lv, rv = resolve(self.left), resolve(self.right)
+        return (lv == rv) if self.op == "=" else (lv != rv)
+
+
+def const(value: Any) -> tuple:
+    """A constant condition term."""
+    return ("const", value)
+
+
+# --------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------- #
+
+class NExpr:
+    """Base class; every expression carries its arity k."""
+
+    __slots__ = ()
+    arity: int
+
+    def walk(self) -> Iterator["NExpr"]:
+        yield self
+        for child in getattr(self, "children", lambda: ())():
+            yield from child.walk()
+
+
+def _check_same_arity(*exprs: NExpr) -> int:
+    arities = {e.arity for e in exprs}
+    if len(arities) != 1:
+        raise AlgebraError(f"mixed arities {sorted(arities)} in one expression")
+    return arities.pop()
+
+
+@dataclass(frozen=True, repr=False)
+class NRel(NExpr):
+    name: str
+    arity: int
+
+    def children(self) -> tuple:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+@dataclass(frozen=True, repr=False)
+class NSelect(NExpr):
+    expr: NExpr
+    conditions: tuple[NCond, ...]
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        return self.expr.arity
+
+    def children(self) -> tuple:
+        return (self.expr,)
+
+    def __repr__(self) -> str:
+        return f"select[{self.conditions}]({self.expr!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class NUnion(NExpr):
+    left: NExpr
+    right: NExpr
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        return _check_same_arity(self.left, self.right)
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} | {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class NDiff(NExpr):
+    left: NExpr
+    right: NExpr
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        return _check_same_arity(self.left, self.right)
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} - {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class NJoin(NExpr):
+    left: NExpr
+    right: NExpr
+    out: tuple[int, ...]
+    conditions: tuple[NCond, ...] = ()
+
+    def __post_init__(self) -> None:
+        k = _check_same_arity(self.left, self.right)
+        if len(self.out) != k or not all(0 <= i < 2 * k for i in self.out):
+            raise AlgebraError(
+                f"out spec must keep {k} positions from 0..{2 * k - 1}, got {self.out}"
+            )
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        return self.left.arity
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"join[{self.out}; {self.conditions}]({self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class NStar(NExpr):
+    expr: NExpr
+    out: tuple[int, ...]
+    conditions: tuple[NCond, ...] = ()
+    side: str = "right"
+
+    def __post_init__(self) -> None:
+        k = self.expr.arity
+        if len(self.out) != k or not all(0 <= i < 2 * k for i in self.out):
+            raise AlgebraError(f"bad star out spec {self.out} for arity {k}")
+        if self.side not in ("right", "left"):
+            raise AlgebraError(f"bad star side {self.side!r}")
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        return self.expr.arity
+
+    def children(self) -> tuple:
+        return (self.expr,)
+
+    def __repr__(self) -> str:
+        name = "star" if self.side == "right" else "lstar"
+        return f"{name}[{self.out}; {self.conditions}]({self.expr!r})"
+
+
+# --------------------------------------------------------------------- #
+# Evaluation (hash joins + semi-naive stars, arity-generic)
+# --------------------------------------------------------------------- #
+
+class NaryEngine:
+    """Evaluates nTA expressions over :class:`NaryStore`."""
+
+    def evaluate(self, expr: NExpr, store: NaryStore) -> frozenset[tuple]:
+        if expr.arity != store.arity:
+            raise AlgebraError(
+                f"expression arity {expr.arity} != store arity {store.arity}"
+            )
+        return self._eval(expr, store, {})
+
+    def _eval(self, expr: NExpr, store: NaryStore, memo: dict) -> frozenset[tuple]:
+        cached = memo.get(expr)
+        if cached is not None:
+            return cached
+        result = self._dispatch(expr, store, memo)
+        memo[expr] = result
+        return result
+
+    def _dispatch(self, expr: NExpr, store: NaryStore, memo: dict) -> frozenset[tuple]:
+        if isinstance(expr, NRel):
+            return store.relation(expr.name)
+        if isinstance(expr, NSelect):
+            rows = self._eval(expr.expr, store, memo)
+            k = store.arity
+            return frozenset(
+                r
+                for r in rows
+                if all(c.evaluate(r, None, store.rho, k) for c in expr.conditions)
+            )
+        if isinstance(expr, NUnion):
+            return self._eval(expr.left, store, memo) | self._eval(expr.right, store, memo)
+        if isinstance(expr, NDiff):
+            return self._eval(expr.left, store, memo) - self._eval(expr.right, store, memo)
+        if isinstance(expr, NJoin):
+            return frozenset(
+                self._join(
+                    self._eval(expr.left, store, memo),
+                    self._eval(expr.right, store, memo),
+                    expr.out,
+                    expr.conditions,
+                    store,
+                )
+            )
+        if isinstance(expr, NStar):
+            base = self._eval(expr.expr, store, memo)
+            return frozenset(self._star(base, expr, store))
+        raise AlgebraError(f"unknown nTA node {type(expr).__name__}")
+
+    def _join(
+        self,
+        left: frozenset[tuple] | set,
+        right: frozenset[tuple] | set,
+        out: tuple[int, ...],
+        conditions: tuple[NCond, ...],
+        store: NaryStore,
+    ) -> set[tuple]:
+        k = store.arity
+        rho = store.rho
+        cross_eq: list[NCond] = []
+        other: list[NCond] = []
+        for cond in conditions:
+            sides = {
+                t >= k
+                for t in (cond.left, cond.right)
+                if isinstance(t, int)
+            }
+            if cond.op == "=" and sides == {False, True}:
+                if isinstance(cond.left, int) and cond.left >= k:
+                    cond = NCond(cond.right, cond.left, cond.op, cond.on_data)
+                cross_eq.append(cond)
+            else:
+                other.append(cond)
+
+        def key_left(row: tuple):
+            return tuple(
+                rho(row[c.left]) if c.on_data else row[c.left] for c in cross_eq
+            )
+
+        def key_right(row: tuple):
+            return tuple(
+                rho(row[c.right - k]) if c.on_data else row[c.right - k]
+                for c in cross_eq
+            )
+
+        index: dict = {}
+        for row in right:
+            index.setdefault(key_right(row), []).append(row)
+        result: set[tuple] = set()
+        for lrow in left:
+            for rrow in index.get(key_left(lrow), ()):
+                if all(c.evaluate(lrow, rrow, rho, k) for c in other):
+                    result.add(
+                        tuple(
+                            lrow[i] if i < k else rrow[i - k] for i in out
+                        )
+                    )
+        return result
+
+    def _star(self, base: frozenset[tuple], expr: NStar, store: NaryStore) -> set[tuple]:
+        acc: set[tuple] = set(base)
+        frontier: set[tuple] = set(base)
+        while frontier:
+            if expr.side == "right":
+                produced = self._join(frontier, base, expr.out, expr.conditions, store)
+            else:
+                produced = self._join(base, frontier, expr.out, expr.conditions, store)
+            frontier = produced - acc
+            acc |= frontier
+        return acc
+
+
+# --------------------------------------------------------------------- #
+# The k = 2 view: relation algebra's composition and closure
+# --------------------------------------------------------------------- #
+
+def composition(left: NExpr, right: NExpr) -> NJoin:
+    """Binary relational composition: pairs (x, y) with (x,z), (z,y)."""
+    if left.arity != 2:
+        raise AlgebraError("composition is the k = 2 join")
+    return NJoin(left, right, (0, 3), (NCond(1, 2),))
+
+
+def transitive_closure(expr: NExpr) -> NStar:
+    """The k = 2 right star of composition — ordinary transitive closure."""
+    if expr.arity != 2:
+        raise AlgebraError("transitive_closure is the k = 2 star")
+    return NStar(expr, (0, 3), (NCond(1, 2),), "right")

@@ -1,0 +1,56 @@
+"""RDF documents, the σ encoding, nSPARQL navigation, paper datasets."""
+
+from repro.rdf.datasets import (
+    EXAMPLE2_EXPECTED,
+    EXAMPLE2_PRIME_EXTRA,
+    EXAMPLE3_LEFT_EXPECTED,
+    EXAMPLE3_RIGHT_EXPECTED,
+    FIGURE1_TRIPLES,
+    QUERY_Q_CITY_PAIRS,
+    QUERY_Q_EXPECTED_PAIRS,
+    QUERY_Q_NEGATIVE_PAIR,
+    clique_store,
+    example3_store,
+    figure1,
+    proposition1_d1,
+    proposition1_d2,
+    social_network,
+    theorem4_structures,
+)
+from repro.rdf.model import RDFGraph
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.nsparql import AXES, Self, evaluate_nsparql_nre
+from repro.rdf.sigma import (
+    SIGMA_ALPHABET,
+    sigma,
+    sigma_is_lossless_for,
+    sigma_preimage_candidates,
+)
+
+__all__ = [
+    "AXES",
+    "EXAMPLE2_EXPECTED",
+    "EXAMPLE2_PRIME_EXTRA",
+    "EXAMPLE3_LEFT_EXPECTED",
+    "EXAMPLE3_RIGHT_EXPECTED",
+    "FIGURE1_TRIPLES",
+    "QUERY_Q_CITY_PAIRS",
+    "QUERY_Q_EXPECTED_PAIRS",
+    "QUERY_Q_NEGATIVE_PAIR",
+    "RDFGraph",
+    "SIGMA_ALPHABET",
+    "Self",
+    "clique_store",
+    "evaluate_nsparql_nre",
+    "example3_store",
+    "figure1",
+    "parse_ntriples",
+    "proposition1_d1",
+    "proposition1_d2",
+    "serialize_ntriples",
+    "sigma",
+    "sigma_is_lossless_for",
+    "sigma_preimage_candidates",
+    "social_network",
+    "theorem4_structures",
+]

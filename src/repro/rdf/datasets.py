@@ -1,0 +1,220 @@
+"""The paper's concrete databases, transcribed exactly.
+
+* :func:`figure1` — the transport RDF database of Figure 1;
+* :func:`proposition1_d1` / :func:`proposition1_d2` — the documents D₁ and
+  D₂ from the proof of Proposition 1 (identical σ-transformations,
+  different answers to query Q);
+* :func:`example3_store` — the three-triple store of Example 3 (left vs
+  right Kleene closure);
+* :func:`social_network` — the Mario/Luigi/Donkey Kong network of
+  Section 2.3 with its quintuple data values;
+* :func:`theorem4_structures` — the structures A and B used to separate
+  FO⁴ from TriAL in the proof of Theorem 4;
+* :func:`clique_store` — the stores T₃, T₄, T₅, T₆ (complete ternary
+  relations over k objects, all sharing one data value) used in the
+  separation arguments of Theorems 4 and 6.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.triplestore.model import Triplestore
+
+# Object names follow the paper's Figure 1.
+ST_ANDREWS = "St. Andrews"
+EDINBURGH = "Edinburgh"
+LONDON = "London"
+BRUSSELS = "Brussels"
+MANCHESTER = "Manchester"
+NEWCASTLE = "Newcastle"
+BUS_OP_1 = "Bus Op 1"
+TRAIN_OP_1 = "Train Op 1"
+TRAIN_OP_2 = "Train Op 2"
+TRAIN_OP_3 = "Train Op 3"
+PART_OF = "part_of"
+NAT_EXPRESS = "NatExpress"
+EAST_COAST = "EastCoast"
+EUROSTAR = "Eurostar"
+
+FIGURE1_TRIPLES = (
+    (ST_ANDREWS, BUS_OP_1, EDINBURGH),
+    (EDINBURGH, TRAIN_OP_1, LONDON),
+    (LONDON, TRAIN_OP_2, BRUSSELS),
+    (BUS_OP_1, PART_OF, NAT_EXPRESS),
+    (TRAIN_OP_1, PART_OF, EAST_COAST),
+    (TRAIN_OP_2, PART_OF, EUROSTAR),
+    (EAST_COAST, PART_OF, NAT_EXPRESS),
+)
+
+
+def figure1() -> Triplestore:
+    """The RDF database D of Figure 1 as a single-relation triplestore."""
+    return Triplestore(FIGURE1_TRIPLES)
+
+
+#: Expected output of Example 2's expression e on Figure 1.
+EXAMPLE2_EXPECTED = frozenset(
+    {
+        (ST_ANDREWS, NAT_EXPRESS, EDINBURGH),
+        (EDINBURGH, EAST_COAST, LONDON),
+        (LONDON, EUROSTAR, BRUSSELS),
+    }
+)
+
+#: The extra triple Example 2's e′ adds on top of e.
+EXAMPLE2_PRIME_EXTRA = (EDINBURGH, NAT_EXPRESS, LONDON)
+
+#: π₁,₃ of query Q's result on Figure 1, restricted to city pairs.  The
+#: paper highlights (Edinburgh, London) and (St. Andrews, London) as
+#: members and (St. Andrews, Brussels) as a non-member.
+QUERY_Q_CITY_PAIRS = frozenset(
+    {
+        (ST_ANDREWS, EDINBURGH),
+        (EDINBURGH, LONDON),
+        (ST_ANDREWS, LONDON),
+        (LONDON, BRUSSELS),
+    }
+)
+
+#: The full π₁,₃ of Q on Figure 1.  Besides city pairs, the expression
+#: also chains the part_of hierarchy edges themselves (they too are
+#: "services operated by the same company" in the triple view) — e.g.
+#: (Train Op 1, NatExpress) via two part_of hops.
+QUERY_Q_EXPECTED_PAIRS = QUERY_Q_CITY_PAIRS | frozenset(
+    {
+        (BUS_OP_1, NAT_EXPRESS),
+        (EAST_COAST, NAT_EXPRESS),
+        (TRAIN_OP_1, EAST_COAST),
+        (TRAIN_OP_1, NAT_EXPRESS),
+        (TRAIN_OP_2, EUROSTAR),
+    }
+)
+
+#: The pair the paper singles out as NOT in Q (needs a company change).
+QUERY_Q_NEGATIVE_PAIR = (ST_ANDREWS, BRUSSELS)
+
+_D1_TRIPLES = (
+    (ST_ANDREWS, "Bus Operator 1", EDINBURGH),
+    (EDINBURGH, TRAIN_OP_1, LONDON),
+    (EDINBURGH, TRAIN_OP_3, LONDON),
+    (EDINBURGH, TRAIN_OP_1, MANCHESTER),
+    (NEWCASTLE, TRAIN_OP_1, LONDON),
+    (LONDON, TRAIN_OP_2, BRUSSELS),
+    ("Bus Operator 1", PART_OF, NAT_EXPRESS),
+    (TRAIN_OP_1, PART_OF, EAST_COAST),
+    (TRAIN_OP_2, PART_OF, EUROSTAR),
+    (EAST_COAST, PART_OF, NAT_EXPRESS),
+)
+
+
+def proposition1_d1() -> Triplestore:
+    """Document D₁ from the proof of Proposition 1."""
+    return Triplestore(_D1_TRIPLES)
+
+
+def proposition1_d2() -> Triplestore:
+    """D₂ = D₁ without (Edinburgh, Train Op 1, London)."""
+    triples = tuple(
+        t for t in _D1_TRIPLES if t != (EDINBURGH, TRAIN_OP_1, LONDON)
+    )
+    return Triplestore(triples)
+
+
+def example3_store() -> Triplestore:
+    """Example 3's store: E = {(a,b,c), (c,d,e), (d,e,f)}."""
+    return Triplestore([("a", "b", "c"), ("c", "d", "e"), ("d", "e", "f")])
+
+
+#: Example 3's stated results (right and left closure).
+EXAMPLE3_RIGHT_EXPECTED = frozenset(
+    {("a", "b", "c"), ("c", "d", "e"), ("d", "e", "f"), ("a", "b", "d"), ("a", "b", "e")}
+)
+EXAMPLE3_LEFT_EXPECTED = frozenset(
+    {("a", "b", "c"), ("c", "d", "e"), ("d", "e", "f"), ("a", "b", "d")}
+)
+
+
+def social_network() -> Triplestore:
+    """The Section 2.3 social network with quintuple data values.
+
+    Data values are (name, email, age, type, created); user entities have
+    ``None`` in the last two components, connection entities in the first
+    three (the paper's ⊥).
+    """
+    triples = [
+        ("o175", "c163", "o122"),
+        ("o175", "c137", "o7521"),
+        ("o7521", "c177", "o122"),
+    ]
+    rho = {
+        "o175": ("Mario", "m@nes.com", 23, None, None),
+        "o122": ("Donkey Kong", "d@nes.com", 117, None, None),
+        "o7521": ("Luigi", "l@nes.com", 27, None, None),
+        "c137": (None, None, None, "brother", "11-11-83"),
+        "c177": (None, None, None, "coworker", "12-07-89"),
+        "c163": (None, None, None, "rival", "12-07-89"),
+    }
+    return Triplestore(triples, rho)
+
+
+def clique_store(k: int, data_value: str = "d") -> Triplestore:
+    """Tₖ: the complete ternary relation over k objects, one shared ρ-value.
+
+    These are the stores T₃/T₄ (FO³ separation) and T₅/T₆ (FO⁵
+    separation) from the proofs of Theorems 4 and 6.
+    """
+    objects = [f"o{i}" for i in range(k)]
+    triples = list(itertools.product(objects, repeat=3))
+    rho = {o: data_value for o in objects}
+    return Triplestore(triples, rho)
+
+
+def theorem4_structures() -> tuple[Triplestore, Triplestore]:
+    """The structures A and B from the proof of Theorem 4 (FO⁴ ⊄ TriAL).
+
+    A is over objects a, b, c, d₁..d₉, e₁..e₁₂; every edge is symmetric:
+    (u, eᵢ, v) comes with (v, eᵢ, u).  In A the triangle {a,b,c} shares
+    all twelve eᵢ and every dⱼ connects to a, b, c for i ≤ 4; in B the
+    witnesses are split into blocks so no single dⱼ works with all three
+    pairs of {a,b,c}.  (The paper's A-description says "1 ≤ j ≤ 12",
+    an evident typo for the nine dⱼ's; we clamp to d₁..d₉.)
+    """
+    def sym(u: str, e: str, v: str) -> list[tuple[str, str, str]]:
+        return [(u, e, v), (v, e, u)]
+
+    abc_pairs = (("a", "b"), ("a", "c"), ("b", "c"))
+    a_triples: list[tuple[str, str, str]] = []
+    for i in range(1, 13):
+        e = f"e{i}"
+        for u, v in abc_pairs:
+            a_triples += sym(u, e, v)
+    for i in range(1, 5):
+        e = f"e{i}"
+        for j in range(1, 10):
+            d = f"d{j}"
+            for u in ("a", "b", "c"):
+                a_triples += sym(u, e, d)
+
+    b_triples: list[tuple[str, str, str]] = []
+    for i in range(1, 4):
+        e = f"e{i}"
+        for u, v in abc_pairs:
+            b_triples += sym(u, e, v)
+    for i in range(4, 7):
+        e = f"e{i}"
+        b_triples += sym("a", e, "b")
+        for j in range(1, 4):
+            b_triples += sym("b", e, f"d{j}") + sym("a", e, f"d{j}")
+    for i in range(7, 10):
+        e = f"e{i}"
+        b_triples += sym("a", e, "c")
+        for j in range(4, 7):
+            b_triples += sym("c", e, f"d{j}") + sym("a", e, f"d{j}")
+    for i in range(10, 13):
+        e = f"e{i}"
+        b_triples += sym("b", e, "c")
+        for j in range(7, 10):
+            b_triples += sym("b", e, f"d{j}") + sym("c", e, f"d{j}")
+
+    return Triplestore(a_triples), Triplestore(b_triples)

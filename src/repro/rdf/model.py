@@ -1,0 +1,75 @@
+"""Ground RDF documents (Section 2.1).
+
+An RDF graph is a set of triples ``(s, p, o)`` over URIs; we deal with
+*ground* documents (no blank nodes or literals), exactly as the paper
+does.  :class:`RDFGraph` is a thin value type with conversions to the
+triplestore model (for TriAL querying) and to the σ graph encoding (for
+graph-language querying).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.triplestore.model import Triple, Triplestore
+
+
+class RDFGraph:
+    """An immutable set of ground RDF triples."""
+
+    __slots__ = ("triples",)
+
+    def __init__(self, triples: Iterable[Triple]) -> None:
+        self.triples: frozenset[Triple] = frozenset(
+            (s, p, o) for s, p, o in triples
+        )
+
+    def resources(self) -> frozenset:
+        """All URIs occurring in any position."""
+        out: set = set()
+        for triple in self.triples:
+            out.update(triple)
+        return frozenset(out)
+
+    def subjects(self) -> frozenset:
+        return frozenset(s for s, _, _ in self.triples)
+
+    def predicates(self) -> frozenset:
+        return frozenset(p for _, p, _ in self.triples)
+
+    def objects(self) -> frozenset:
+        return frozenset(o for _, _, o in self.triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self.triples)
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self.triples
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RDFGraph):
+            return NotImplemented
+        return self.triples == other.triples
+
+    def __hash__(self) -> int:
+        return hash(self.triples)
+
+    def __repr__(self) -> str:
+        return f"RDFGraph({len(self.triples)} triples)"
+
+    def union(self, other: "RDFGraph") -> "RDFGraph":
+        return RDFGraph(self.triples | other.triples)
+
+    def without(self, *triples: Triple) -> "RDFGraph":
+        return RDFGraph(self.triples - set(triples))
+
+    def to_triplestore(self, relation: str = "E") -> Triplestore:
+        """View the document as a triplestore (the paper's §2.2 table)."""
+        return Triplestore({relation: self.triples})
+
+    @classmethod
+    def from_triplestore(cls, store: Triplestore, relation: str = "E") -> "RDFGraph":
+        return cls(store.relation(relation))

@@ -1,0 +1,108 @@
+"""nSPARQL-style navigation over RDF: NREs with next/edge/node axes.
+
+Theorem 1's proof fixes the semantics of nested regular expressions in
+the RDF context (following Pérez–Arenas–Gutierrez):
+
+* ``next`` holds between v, v′ when ∃z (v, z, v′) ∈ D;
+* ``edge`` holds when ∃z (v, v′, z) ∈ D;
+* ``node`` holds when ∃z (z, v, v′) ∈ D;
+
+plus the usual NRE operators with inverses and nesting.  This semantics
+coincides with evaluating the NRE over σ(D) (the proof of Theorem 1
+relies on exactly that), which the tests verify; the native evaluator
+here works straight on the triples.
+
+The alphabet of admissible labels is {next, edge, node} — the axes.  An
+NRE mentioning any other label is rejected, mirroring nSPARQL, whose
+navigation is axis-based (node tests like ``[edge.part_of]`` are
+expressed by nesting, with the *axis* doing the motion).  Since axes
+cannot name resources directly, tests over resources are encoded as
+``self::a``-style steps in nSPARQL; we additionally support the test
+``Self(resource)`` for that purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.graphdb.nre import (
+    NAlt,
+    NConcat,
+    NEps,
+    NLabel,
+    NStar,
+    NTest,
+    Nre,
+)
+from repro.rdf.model import RDFGraph
+
+AXES = ("next", "edge", "node")
+
+
+@dataclass(frozen=True, repr=False)
+class Self(Nre):
+    """``self::a`` — the diagonal pair (a, a) for one named resource."""
+
+    resource: str
+
+    def __repr__(self) -> str:
+        return f"self::{self.resource}"
+
+
+def _axis_pairs(document: RDFGraph, axis: str) -> frozenset[tuple]:
+    if axis == "next":
+        return frozenset((s, o) for s, _, o in document)
+    if axis == "edge":
+        return frozenset((s, p) for s, p, _ in document)
+    if axis == "node":
+        return frozenset((p, o) for _, p, o in document)
+    raise GraphError(f"unknown nSPARQL axis {axis!r}; expected one of {AXES}")
+
+
+def evaluate_nsparql_nre(document: RDFGraph, expr: Nre) -> frozenset[tuple]:
+    """Evaluate an axis-NRE over an RDF document, per Theorem 1 semantics."""
+    resources = document.resources()
+
+    def go(e: Nre) -> frozenset[tuple]:
+        if isinstance(e, NEps):
+            return frozenset((r, r) for r in resources)
+        if isinstance(e, Self):
+            if e.resource in resources:
+                return frozenset({(e.resource, e.resource)})
+            return frozenset()
+        if isinstance(e, NLabel):
+            pairs = _axis_pairs(document, e.label)
+            return pairs if e.forward else frozenset((b, a) for a, b in pairs)
+        if isinstance(e, NConcat):
+            left, right = go(e.left), go(e.right)
+            by_source: dict = {}
+            for u, v in right:
+                by_source.setdefault(u, set()).add(v)
+            return frozenset(
+                (u, w) for u, v in left for w in by_source.get(v, ())
+            )
+        if isinstance(e, NAlt):
+            return go(e.left) | go(e.right)
+        if isinstance(e, NStar):
+            inner = go(e.inner)
+            succ: dict = {}
+            for u, v in inner:
+                succ.setdefault(u, set()).add(v)
+            closure = {(r, r) for r in resources}
+            for source in resources:
+                seen: set = set()
+                frontier = set(succ.get(source, ()))
+                while frontier:
+                    seen |= frontier
+                    frontier = {
+                        w for v in frontier for w in succ.get(v, ()) if w not in seen
+                    }
+                closure.update((source, v) for v in seen)
+            return frozenset(closure)
+        if isinstance(e, NTest):
+            inner = go(e.inner)
+            return frozenset((u, u) for u, _ in inner)
+        raise GraphError(f"unknown NRE node {type(e).__name__}")
+
+    return go(expr)

@@ -1,0 +1,149 @@
+"""A conjunctive nSPARQL-style query layer over RDF documents (§2.2).
+
+nSPARQL extends SPARQL's triple patterns with nested regular
+expressions in the predicate position.  This module implements the
+conjunctive core: patterns ``(term, nre, term)`` over the next/edge/node
+axes, combined with AND and FILTER, evaluated against ground RDF
+documents with the Theorem 1 semantics.
+
+Because every pattern's meaning factors through the axis relations —
+which are functions of σ(D) alone — *any* query in this language
+answers identically on documents with equal σ-images.  That is the
+operational content of Theorem 1, and the test suite exercises it on
+the proof's D₁/D₂ pair.
+
+Example::
+
+    q = NSparqlQuery(
+        patterns=[
+            Pattern(QVar("x"), parse_nre("next"), QVar("y")),
+            Pattern(QVar("y"), parse_nre("next.[edge.part_of_test]"), QVar("z")),
+        ],
+        select=("x", "z"),
+        filters=[Filter("x", "!=", "z")],
+    )
+    q.evaluate(document)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence, Union
+
+from repro.errors import GraphError
+from repro.graphdb.nre import Nre
+from repro.rdf.model import RDFGraph
+from repro.rdf.nsparql import evaluate_nsparql_nre
+
+
+@dataclass(frozen=True)
+class QVar:
+    """A query variable (SPARQL's ?x)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class QConst:
+    """A fixed resource."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return f"<{self.value}>"
+
+
+QTerm = Union[QVar, QConst]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One navigational triple pattern: subject --nre--> object."""
+
+    subject: QTerm
+    nre: Nre
+    object: QTerm
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(
+            t.name for t in (self.subject, self.object) if isinstance(t, QVar)
+        )
+
+
+@dataclass(frozen=True)
+class Filter:
+    """``?left op ?right`` with op ``=`` or ``!=`` (on resources)."""
+
+    left: str
+    op: str
+    right: str
+
+    def __post_init__(self) -> None:
+        if self.op not in ("=", "!="):
+            raise GraphError(f"filter operator must be '=' or '!=', got {self.op!r}")
+
+    def holds(self, binding: dict[str, Any]) -> bool:
+        l, r = binding[self.left], binding[self.right]
+        return (l == r) if self.op == "=" else (l != r)
+
+
+class NSparqlQuery:
+    """A conjunction of navigational patterns with filters and projection."""
+
+    def __init__(
+        self,
+        patterns: Sequence[Pattern],
+        select: tuple[str, ...],
+        filters: Sequence[Filter] = (),
+    ) -> None:
+        if not patterns:
+            raise GraphError("queries need at least one pattern")
+        self.patterns = tuple(patterns)
+        all_vars = frozenset().union(*(p.variables() for p in self.patterns))
+        missing = set(select) - all_vars
+        if missing:
+            raise GraphError(f"selected variables {sorted(missing)} not in any pattern")
+        for f in filters:
+            if {f.left, f.right} - all_vars:
+                raise GraphError(f"filter {f} uses unbound variables")
+        self.select = tuple(select)
+        self.filters = tuple(filters)
+
+    def evaluate(self, document: RDFGraph) -> frozenset[tuple]:
+        """All bindings of the selected variables."""
+        solutions: list[dict[str, Any]] = [{}]
+        for pattern in self.patterns:
+            pairs = evaluate_nsparql_nre(document, pattern.nre)
+            next_solutions: list[dict[str, Any]] = []
+            for sol in solutions:
+                for u, v in pairs:
+                    new = dict(sol)
+                    if not _bind(new, pattern.subject, u):
+                        continue
+                    if not _bind(new, pattern.object, v):
+                        continue
+                    next_solutions.append(new)
+            solutions = next_solutions
+            if not solutions:
+                return frozenset()
+        out = set()
+        for sol in solutions:
+            if all(f.holds(sol) for f in self.filters):
+                out.add(tuple(sol[v] for v in self.select))
+        return frozenset(out)
+
+
+def _bind(binding: dict[str, Any], term: QTerm, value: Any) -> bool:
+    if isinstance(term, QConst):
+        return term.value == value
+    bound = binding.get(term.name, _MISSING)
+    if bound is _MISSING:
+        binding[term.name] = value
+        return True
+    return bound == value
+
+
+_MISSING = object()

@@ -1,0 +1,73 @@
+"""The σ(D) graph encoding of RDF documents (Figure 2; Arenas–Pérez).
+
+Given an RDF document D, ``σ(D)`` is the graph database over the
+alphabet ``{next, node, edge}`` whose vertex set is all resources of D
+and which, for every triple (s, p, o), has the edges::
+
+    (s, edge, p)     (p, node, o)     (s, next, o)
+
+Proposition 1 shows the encoding is lossy: the documents D₁ and D₂ of
+the proof differ (D₂ drops one triple) yet σ(D₁) = σ(D₂), so no query
+over the encoding — in particular no NRE — can distinguish them.
+:func:`sigma_is_lossless_for` checks injectivity on concrete inputs.
+"""
+
+from __future__ import annotations
+
+from repro.graphdb.model import GraphDB
+from repro.rdf.model import RDFGraph
+
+NEXT = "next"
+NODE = "node"
+EDGE = "edge"
+SIGMA_ALPHABET = frozenset({NEXT, NODE, EDGE})
+
+
+def sigma(document: RDFGraph) -> GraphDB:
+    """The σ transformation D → σ(D)."""
+    edges = set()
+    for s, p, o in document:
+        edges.add((s, EDGE, p))
+        edges.add((p, NODE, o))
+        edges.add((s, NEXT, o))
+    return GraphDB(document.resources(), edges, sigma=SIGMA_ALPHABET)
+
+
+def sigma_preimage_candidates(graph: GraphDB) -> RDFGraph:
+    """The *maximal* document D' with σ(D') ⊆ relations of the graph.
+
+    Every triple (s, p, o) whose three σ-edges are present is included.
+    For graphs in the image of σ this is the union of all preimages —
+    equal to the original document exactly when σ was injective on it.
+    """
+    triples = []
+    for s, _, p in (e for e in graph.edges if e[1] == EDGE):
+        for p2, _, o in (e for e in graph.edges if e[1] == NODE):
+            if p2 != p:
+                continue
+            if (s, NEXT, o) in graph.edges:
+                triples.append((s, p, o))
+    return RDFGraph(triples)
+
+
+def sigma_is_lossless_for(document: RDFGraph) -> bool:
+    """Does D equal the maximal preimage of σ(D)?
+
+    False for the Proposition 1 documents — the executable core of the
+    paper's inexpressibility argument.
+    """
+    return sigma_preimage_candidates(sigma(document)) == document
+
+
+def sigma_collision_pair(document: RDFGraph) -> tuple[RDFGraph, RDFGraph] | None:
+    """A pair (D, D′) with D ⊊ D′ and σ(D) = σ(D′), if one exists.
+
+    Generalises the paper's hand-built D₁/D₂ witness: D′ is the maximal
+    preimage of σ(D).  Every triple D′ adds has all three of its σ-edges
+    already present, so the images coincide; when D′ ≠ D the pair
+    witnesses the encoding's lossiness on this very document.
+    """
+    maximal = sigma_preimage_candidates(sigma(document))
+    if maximal == document:
+        return None
+    return document, maximal

@@ -1,0 +1,29 @@
+"""Translations between TriAL(*) and the comparison languages (§6)."""
+
+from repro.translations.fo_to_trial import fo3_to_trial
+from repro.translations.graph_to_trial import (
+    gxpath_node_to_trial,
+    gxpath_to_trial,
+    node_pairs,
+    nodes_diagonal,
+    normalise,
+    nre_to_trial,
+    regex_to_gxpath,
+    rpq_to_trial,
+)
+from repro.translations.trial_to_fo import POOL, trial_eq_to_fo4, trial_to_fo
+
+__all__ = [
+    "POOL",
+    "fo3_to_trial",
+    "gxpath_node_to_trial",
+    "gxpath_to_trial",
+    "node_pairs",
+    "nodes_diagonal",
+    "normalise",
+    "nre_to_trial",
+    "regex_to_gxpath",
+    "rpq_to_trial",
+    "trial_eq_to_fo4",
+    "trial_to_fo",
+]

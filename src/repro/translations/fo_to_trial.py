@@ -1,0 +1,209 @@
+"""FO³ → TriAL (Theorem 4 part 2) and TrCl³ → TriAL* (Theorem 6 part 2).
+
+Fix three variable names (default ``x, y, z``) corresponding to triple
+positions 1, 2, 3.  The translation of a formula ϕ is an expression
+``e_ϕ`` with::
+
+    (a, b, c) ∈ e_ϕ(T)   ⟺   T ⊨ ϕ[x→a, y→b, z→c]
+
+for all a, b, c in the active domain — positions of variables that ϕ
+does not constrain range over the whole active domain, exactly as in
+the proof ("we can just ignore some of the positions in the triples").
+
+The TrCl³ extension translates ``[trcl_{x,y} ϕ(x,y,z)](u1,u2)`` via the
+proof's expression ``R = (R_ϕ ✶^{1,2',3}_{3=3' ∧ 2=1'})*`` followed by a
+per-case fix-up of the argument terms.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+from repro.core.builder import join, select, star
+from repro.core.conditions import Cond
+from repro.core.expressions import Diff, Expr, Intersect, Join, Rel, Union, Universe
+from repro.core.positions import Const, Pos
+from repro.logic.fo import (
+    And,
+    ConstT,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    Sim,
+    Var,
+)
+from repro.logic.trcl import Trcl
+
+#: Primed positions handed out for unconstrained output slots.
+_PRIMED = (3, 4, 5)
+
+
+def fo3_to_trial(
+    formula: Formula, variables: tuple[str, str, str] = ("x", "y", "z")
+) -> Expr:
+    """Translate an FO³/TrCl³ formula into TriAL(*).
+
+    ``variables`` fixes the (position 1, position 2, position 3)
+    correspondence.  The formula may only use these three names.
+    """
+    allowed = set(variables)
+    used = formula.all_vars()
+    if not used <= allowed:
+        raise TranslationError(
+            f"formula uses variables {sorted(used - allowed)} outside the "
+            f"three-name alphabet {variables}"
+        )
+    position_of = {name: i for i, name in enumerate(variables)}
+
+    def term_position(t) -> int | None:
+        if isinstance(t, Var):
+            return position_of[t.name]
+        return None
+
+    def go(f: Formula) -> Expr:
+        if isinstance(f, RelAtom):
+            return _atom(f)
+        if isinstance(f, Eq):
+            lp, rp = term_position(f.left), term_position(f.right)
+            if lp is None and rp is None:
+                truth = f.left.value == f.right.value  # type: ignore[union-attr]
+                return Universe() if truth else Diff(Universe(), Universe())
+            if lp is None or rp is None:
+                pos = lp if lp is not None else rp
+                const = f.right if lp is not None else f.left
+                return select(
+                    Universe(), (Cond(Pos(pos), Const(const.value)),)
+                )
+            if lp == rp:
+                return Universe()
+            return select(Universe(), (Cond(Pos(lp), Pos(rp)),))
+        if isinstance(f, Sim):
+            lp, rp = term_position(f.left), term_position(f.right)
+            if lp is None or rp is None:
+                raise TranslationError(
+                    "∼ against constants is outside the one-sorted vocabulary"
+                )
+            if lp == rp:
+                return Universe()
+            return select(Universe(), (Cond(Pos(lp), Pos(rp), "=", True),))
+        if isinstance(f, Not):
+            return Diff(Universe(), go(f.formula))
+        if isinstance(f, And):
+            return Intersect(go(f.left), go(f.right))
+        if isinstance(f, Or):
+            return Union(go(f.left), go(f.right))
+        if isinstance(f, Exists):
+            return _project_out(go(f.formula), position_of[f.var])
+        if isinstance(f, Forall):
+            return go(Not(Exists(f.var, Not(f.formula))))
+        if isinstance(f, Trcl):
+            return _trcl(f)
+        raise TranslationError(f"unknown formula node {type(f).__name__}")
+
+    def _atom(f: RelAtom) -> Expr:
+        base: Expr = Rel(f.name)
+        conds: list[Cond] = []
+        first_at: dict[str, int] = {}
+        for i, t in enumerate(f.terms):
+            if isinstance(t, ConstT):
+                conds.append(Cond(Pos(i), Const(t.value)))
+            else:
+                if t.name in first_at:
+                    conds.append(Cond(Pos(first_at[t.name]), Pos(i)))
+                else:
+                    first_at[t.name] = i
+        if conds:
+            base = select(base, tuple(conds))
+        out: list[int] = []
+        primed = list(_PRIMED)
+        for name in variables:
+            if name in first_at:
+                out.append(first_at[name])
+            else:
+                out.append(primed.pop(0))
+        return join(base, Universe(), tuple(out))
+
+    def _project_out(expr: Expr, position: int) -> Expr:
+        out = [0, 1, 2]
+        out[position] = 3 + position  # replace with U's matching primed slot
+        return join(expr, Universe(), tuple(out))
+
+    def _trcl(f: Trcl) -> Expr:
+        if len(f.xs) != 1 or len(f.ys) != 1:
+            raise TranslationError(
+                "TrCl³ supports unary closures [trcl_{x,y} ϕ](u1, u2) only"
+            )
+        x, y = f.xs[0], f.ys[0]
+        if x not in position_of or y not in position_of:
+            raise TranslationError("trcl variables must come from the alphabet")
+        inner_free = f.formula.free_vars()
+        param = inner_free - {x, y}
+        r_phi = go(f.formula)
+        # Normalise so that x sits at position 1, y at position 2 and the
+        # parameter (if any) at position 3, by permuting through a join
+        # with U.  r_phi positions follow `variables` order already.
+        perm = _normalising_permutation(position_of[x], position_of[y])
+        if perm is not None:
+            r_phi = join(r_phi, Universe(), perm)
+        # R = (R_ϕ ✶^{1,2',3}_{3=3' ∧ 2=1'})*: chains (a,b1,c),(b1,b2,c)…
+        closed = star(r_phi, "1,2',3", "3=3' & 2=1'")
+        return _apply_argument_terms(closed, f, position_of, bool(param))
+
+    def _normalising_permutation(
+        px: int, py: int
+    ) -> tuple[int, int, int] | None:
+        """out-spec moving position px → 1, py → 2, the rest → 3."""
+        if (px, py) == (0, 1):
+            return None
+        rest = ({0, 1, 2} - {px, py}).pop()
+        return (px, py, rest)
+
+    def _apply_argument_terms(
+        closed: Expr,
+        f: Trcl,
+        position_of: dict[str, int],
+        has_param: bool,
+    ) -> Expr:
+        """Place the closure's endpoints at the positions of u1/u2.
+
+        ``closed`` holds triples (a, b, c) with b reachable from a via
+        ϕ(·,·,c)-edges.  The result must hold at position(u1) the start,
+        at position(u2) the end, and (when ϕ has the third variable as a
+        parameter) at the parameter's position the value c.
+        """
+        u1, u2 = f.t1s[0], f.t2s[0]
+        if not isinstance(u1, Var) or not isinstance(u2, Var):
+            raise TranslationError("trcl arguments must be variables in TrCl³")
+        p1, p2 = position_of[u1.name], position_of[u2.name]
+        param_pos = None
+        if has_param:
+            param_name = next(iter(f.formula.free_vars() - set(f.xs) - set(f.ys)))
+            param_pos = position_of[param_name]
+        # The closure triples are (start, end, param).  Argument identities
+        # become selections — the paper's per-case σ's, done uniformly.
+        conds: list[Cond] = []
+        if u1.name == u2.name:
+            conds.append(Cond(Pos(0), Pos(1)))
+        if param_pos == p1:
+            conds.append(Cond(Pos(0), Pos(2)))
+        if param_pos == p2:
+            conds.append(Cond(Pos(1), Pos(2)))
+        filtered = select(closed, tuple(conds)) if conds else closed
+        # Rearrange (start, end, param) onto the output positions; unused
+        # output positions range over U.
+        out: list[int | None] = [None, None, None]
+        out[p1] = 0
+        if out[p2] is None:
+            out[p2] = 1
+        if param_pos is not None and out[param_pos] is None:
+            out[param_pos] = 2
+        primed = [3, 4, 5]
+        for i in range(3):
+            if out[i] is None:
+                out[i] = primed.pop(0)
+        return join(filtered, Universe(), tuple(out))  # type: ignore[arg-type]
+
+    return go(formula)

@@ -1,0 +1,19 @@
+"""Triplestore data model (Definition 1) and its array representation."""
+
+from repro.triplestore.io import dump, dump_path, dumps, load, load_path, loads
+from repro.triplestore.matrix import MatrixStore
+from repro.triplestore.model import DEFAULT_RELATION, Obj, Triple, Triplestore
+
+__all__ = [
+    "DEFAULT_RELATION",
+    "MatrixStore",
+    "Obj",
+    "Triple",
+    "Triplestore",
+    "dump",
+    "dump_path",
+    "dumps",
+    "load",
+    "load_path",
+    "loads",
+]

@@ -1,0 +1,156 @@
+"""Plain-text serialisation for triplestores.
+
+The format is a tiny line-oriented language, sufficient for examples and
+for shipping the paper's datasets as readable fixtures:
+
+.. code-block:: text
+
+    # comment
+    @rho Edinburgh "scotland"
+    @rho o175 ("Mario", "m@nes.com", 23, null, null)
+    E StAndrews BusOp1 Edinburgh
+    part_of BusOp1 NatExpress      # relation name first, then s p o
+
+Tokens are whitespace-separated; quoted strings may contain spaces.
+Data values may be quoted strings, integers, floats, ``null`` (maps to
+``None``) or parenthesised tuples of those.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, TextIO
+
+from repro.errors import ParseError
+from repro.triplestore.model import Triple, Triplestore
+
+
+def _tokenize(line: str) -> list[str]:
+    tokens: list[str] = []
+    i, n = 0, len(line)
+    while i < n:
+        ch = line[i]
+        if ch.isspace():
+            i += 1
+        elif ch == "#":
+            break
+        elif ch == '"':
+            j = line.find('"', i + 1)
+            if j < 0:
+                raise ParseError("unterminated string", line, i)
+            tokens.append(line[i:j + 1])
+            i = j + 1
+        elif ch in "(),":
+            tokens.append(ch)
+            i += 1
+        else:
+            j = i
+            while j < n and not line[j].isspace() and line[j] not in '(),"#':
+                j += 1
+            tokens.append(line[i:j])
+            i = j
+    return tokens
+
+
+def _parse_value(tokens: list[str], start: int) -> tuple[Any, int]:
+    """Parse one data value starting at ``tokens[start]``; return (value, next)."""
+    tok = tokens[start]
+    if tok == "(":
+        items: list[Any] = []
+        i = start + 1
+        while i < len(tokens) and tokens[i] != ")":
+            if tokens[i] == ",":
+                i += 1
+                continue
+            value, i = _parse_value(tokens, i)
+            items.append(value)
+        if i >= len(tokens):
+            raise ParseError("unterminated tuple value")
+        return tuple(items), i + 1
+    if tok.startswith('"'):
+        return tok[1:-1], start + 1
+    if tok == "null":
+        return None, start + 1
+    try:
+        return int(tok), start + 1
+    except ValueError:
+        pass
+    try:
+        return float(tok), start + 1
+    except ValueError:
+        pass
+    return tok, start + 1
+
+
+def loads(text: str) -> Triplestore:
+    """Parse the text format into a :class:`Triplestore`."""
+    relations: dict[str, set[Triple]] = {}
+    rho: dict[Any, Any] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        tokens = _tokenize(raw)
+        if not tokens:
+            continue
+        if tokens[0] == "@rho":
+            if len(tokens) < 3:
+                raise ParseError(f"line {lineno}: @rho needs an object and a value")
+            obj, _ = _parse_value(tokens, 1)
+            value, _ = _parse_value(tokens, 2)
+            rho[obj] = value
+            continue
+        if len(tokens) != 4:
+            raise ParseError(
+                f"line {lineno}: expected 'REL s p o', got {len(tokens)} tokens"
+            )
+        name = tokens[0]
+        parts = []
+        for tok in tokens[1:]:
+            value, _ = _parse_value([tok], 0)
+            parts.append(value)
+        relations.setdefault(name, set()).add(tuple(parts))
+    return Triplestore(relations, rho)
+
+
+def load(fp: TextIO) -> Triplestore:
+    """Read a triplestore from an open text file."""
+    return loads(fp.read())
+
+
+def load_path(path: str) -> Triplestore:
+    """Read a triplestore from a file path."""
+    with open(path, encoding="utf-8") as fp:
+        return load(fp)
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(_format_value(v) for v in value) + ")"
+    if isinstance(value, str):
+        return f'"{value}"' if (" " in value or value == "null") else value
+    return repr(value)
+
+
+def dumps(store: Triplestore) -> str:
+    """Serialise ``store`` into the text format (sorted, deterministic)."""
+    out = io.StringIO()
+    for obj in sorted(store.objects, key=repr):
+        value = store.rho(obj)
+        if value is not None:
+            out.write(f"@rho {_format_value(obj)} {_format_value(value)}\n")
+    for name in store.relation_names:
+        for triple in sorted(store.relation(name), key=repr):
+            s, p, o = (_format_value(x) for x in triple)
+            out.write(f"{name} {s} {p} {o}\n")
+    return out.getvalue()
+
+
+def dump(store: Triplestore, fp: TextIO) -> None:
+    """Write ``store`` to an open text file."""
+    fp.write(dumps(store))
+
+
+def dump_path(store: Triplestore, path: str) -> None:
+    """Write ``store`` to a file path."""
+    with open(path, "w", encoding="utf-8") as fp:
+        dump(store, fp)

@@ -1,0 +1,115 @@
+"""The array ("matrix") representation of triplestores used in Section 5.
+
+The paper's complexity analysis (Theorem 3 and onwards) assumes each
+relation is a three-dimensional ``n x n x n`` 0/1 matrix over the sorted
+object universe, plus a one-dimensional array ``DV`` of data values.  The
+:class:`MatrixStore` realises exactly that representation, backed by numpy
+boolean arrays, and is what the paper-faithful :class:`~repro.core.engines.naive.NaiveEngine`
+operates on.
+
+Only small stores should be materialised this way — the representation is
+cubic in ``|O|`` by design (that is the point of the paper's cost model:
+``|T|`` in Theorem 3 is the size of the array, i.e. ``|O|^3``; see the
+proof of Proposition 4 which uses ``|T| = |O|^3``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import TriplestoreError, UnknownRelationError
+from repro.triplestore.model import Obj, Triple, Triplestore
+
+
+class MatrixStore:
+    """Dense cubic-array view of a :class:`Triplestore`.
+
+    Attributes
+    ----------
+    objects:
+        The sorted object universe; index ``i`` in any matrix refers to
+        ``objects[i]``.
+    dv:
+        The data-value array: ``dv[i] == rho(objects[i])``.
+    """
+
+    __slots__ = ("objects", "_pos", "_matrices", "dv")
+
+    #: Refuse to materialise matrices above this object count by default —
+    #: a 200^3 boolean array is already 8 MB per relation.
+    DEFAULT_MAX_OBJECTS = 512
+
+    def __init__(self, store: Triplestore, max_objects: int | None = None) -> None:
+        limit = self.DEFAULT_MAX_OBJECTS if max_objects is None else max_objects
+        objs = sorted(store.objects, key=repr)
+        if len(objs) > limit:
+            raise TriplestoreError(
+                f"refusing to build an {len(objs)}^3 matrix representation "
+                f"(limit {limit}); pass max_objects to override"
+            )
+        self.objects: list[Obj] = objs
+        self._pos: dict[Obj, int] = {o: i for i, o in enumerate(objs)}
+        n = len(objs)
+        self._matrices: dict[str, np.ndarray] = {}
+        for name in store.relation_names:
+            mat = np.zeros((n, n, n), dtype=bool)
+            for s, p, o in store.relation(name):
+                mat[self._pos[s], self._pos[p], self._pos[o]] = True
+            self._matrices[name] = mat
+        self.dv: list[Any] = [store.rho(o) for o in objs]
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of objects (matrix side length)."""
+        return len(self.objects)
+
+    def matrix(self, name: str) -> np.ndarray:
+        """The ``n x n x n`` boolean matrix of relation ``name``."""
+        try:
+            return self._matrices[name]
+        except KeyError:
+            raise UnknownRelationError(name, tuple(self._matrices)) from None
+
+    def index_of(self, obj: Obj) -> int:
+        """Matrix index of ``obj``."""
+        try:
+            return self._pos[obj]
+        except KeyError:
+            raise TriplestoreError(f"object {obj!r} not in the matrix universe") from None
+
+    def triples_of(self, matrix: np.ndarray) -> frozenset[Triple]:
+        """Decode a boolean matrix back into a set of object triples."""
+        out = set()
+        for i, j, k in zip(*np.nonzero(matrix)):
+            out.add((self.objects[i], self.objects[j], self.objects[k]))
+        return frozenset(out)
+
+    def encode(self, triples: frozenset[Triple] | set[Triple]) -> np.ndarray:
+        """Encode a set of triples as a boolean matrix over this universe."""
+        mat = np.zeros((self.n, self.n, self.n), dtype=bool)
+        for s, p, o in triples:
+            mat[self._pos[s], self._pos[p], self._pos[o]] = True
+        return mat
+
+    def empty(self) -> np.ndarray:
+        """A fresh all-zero matrix."""
+        return np.zeros((self.n, self.n, self.n), dtype=bool)
+
+    def universal(self) -> np.ndarray:
+        """The matrix of U: all triples over objects occurring in some triple.
+
+        Following Section 3, U contains every combination of objects that
+        occur *somewhere* in the stored relations (the active domain).
+        Objects added via ``extra_objects`` but never mentioned in a triple
+        are excluded, mirroring the paper's definition of U via joins.
+        """
+        active = np.zeros(self.n, dtype=bool)
+        for mat in self._matrices.values():
+            active |= mat.any(axis=(1, 2))
+            active |= mat.any(axis=(0, 2))
+            active |= mat.any(axis=(0, 1))
+        return np.einsum("i,j,k->ijk", active, active, active).astype(bool)

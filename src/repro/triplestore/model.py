@@ -1,0 +1,245 @@
+"""The triplestore data model (Definition 1 of the paper).
+
+A *triplestore database* is a tuple ``T = (O, E1, ..., En, rho)`` where
+
+* ``O`` is a finite set of objects,
+* each ``Ei`` is a set of triples over ``O x O x O``, and
+* ``rho : O -> D`` assigns a data value to each object.
+
+Objects may be any hashable Python values (strings in all the paper's
+examples).  Data values likewise; the paper also allows tuples of values
+(the social network of Section 2.3 uses quintuples) and our ``rho`` does
+too since tuples are hashable.
+
+The model is deliberately closed under query evaluation: the result of a
+TriAL expression is a plain ``frozenset`` of triples over ``O`` that can be
+installed back into a store with :meth:`Triplestore.with_relation`, making
+composition (the paper's closure property) a one-liner.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Any
+
+from repro.errors import TriplestoreError, UnknownRelationError
+
+Obj = Hashable
+Triple = tuple[Any, Any, Any]
+
+#: Default relation name used throughout the paper ("often we have just a
+#: single ternary relation E").
+DEFAULT_RELATION = "E"
+
+
+def _as_triple(item: Iterable[Any]) -> Triple:
+    """Coerce ``item`` into a 3-tuple, raising a helpful error otherwise."""
+    triple = tuple(item)
+    if len(triple) != 3:
+        raise TriplestoreError(f"triples must have exactly 3 components, got {triple!r}")
+    return triple
+
+
+class Triplestore:
+    """An immutable-by-convention triplestore database.
+
+    Parameters
+    ----------
+    relations:
+        Either an iterable of triples (installed under
+        :data:`DEFAULT_RELATION`) or a mapping ``name -> iterable of
+        triples`` for multi-relation stores.
+    rho:
+        Optional mapping from objects to data values.  Objects without an
+        entry have data value ``None`` (the paper's ``⊥``).
+    extra_objects:
+        Objects that belong to ``O`` without occurring in any triple (the
+        model permits this; e.g. isolated graph nodes).
+
+    Examples
+    --------
+    >>> t = Triplestore([("a", "p", "b")], rho={"a": 1, "b": 1})
+    >>> ("a", "p", "b") in t.relation("E")
+    True
+    >>> sorted(t.objects)
+    ['a', 'b', 'p']
+    """
+
+    __slots__ = ("_relations", "_rho", "_objects", "_indexes")
+
+    def __init__(
+        self,
+        relations: Mapping[str, Iterable[Triple]] | Iterable[Triple] | None = None,
+        rho: Mapping[Obj, Any] | None = None,
+        extra_objects: Iterable[Obj] = (),
+    ) -> None:
+        if relations is None:
+            rel_map: dict[str, frozenset[Triple]] = {DEFAULT_RELATION: frozenset()}
+        elif isinstance(relations, Mapping):
+            rel_map = {
+                str(name): frozenset(_as_triple(t) for t in triples)
+                for name, triples in relations.items()
+            }
+        else:
+            rel_map = {DEFAULT_RELATION: frozenset(_as_triple(t) for t in relations)}
+        if not rel_map:
+            rel_map = {DEFAULT_RELATION: frozenset()}
+
+        objects: set[Obj] = set(extra_objects)
+        for triples in rel_map.values():
+            for s, p, o in triples:
+                objects.add(s)
+                objects.add(p)
+                objects.add(o)
+
+        self._relations: dict[str, frozenset[Triple]] = rel_map
+        self._rho: dict[Obj, Any] = dict(rho or {})
+        self._objects: frozenset[Obj] = frozenset(objects)
+        self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[Triple]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def objects(self) -> frozenset[Obj]:
+        """The finite object set ``O``."""
+        return self._objects
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Names of the ternary relations, in insertion order."""
+        return tuple(self._relations)
+
+    def relation(self, name: str = DEFAULT_RELATION) -> frozenset[Triple]:
+        """The set of triples of relation ``name``.
+
+        Raises :class:`UnknownRelationError` for missing names.
+        """
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name, self.relation_names) from None
+
+    def rho(self, obj: Obj) -> Any:
+        """The data value ρ(obj); ``None`` when unassigned (paper's ⊥)."""
+        return self._rho.get(obj)
+
+    def rho_map(self) -> dict[Obj, Any]:
+        """A copy of the full data-value assignment."""
+        return dict(self._rho)
+
+    def all_triples(self) -> frozenset[Triple]:
+        """Union of all relations (used for the active domain of U)."""
+        out: set[Triple] = set()
+        for triples in self._relations.values():
+            out.update(triples)
+        return frozenset(out)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return any(triple in rel for rel in self._relations.values())
+
+    def __iter__(self) -> Iterator[Triple]:
+        for triples in self._relations.values():
+            yield from triples
+
+    def __len__(self) -> int:
+        """Total number of triples, the paper's ``|T|``."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    @property
+    def size(self) -> int:
+        """Alias for ``len(self)`` matching the paper's ``|T|`` notation."""
+        return len(self)
+
+    @property
+    def n_objects(self) -> int:
+        """The paper's ``|O|``."""
+        return len(self._objects)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Triplestore):
+            return NotImplemented
+        return (
+            self._relations == other._relations
+            and self._objects == other._objects
+            and self._rho == other._rho
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                frozenset(self._relations.items()),
+                self._objects,
+                frozenset(self._rho.items()),
+            )
+        )
+
+    def __repr__(self) -> str:
+        rels = ", ".join(f"{n}:{len(t)}" for n, t in self._relations.items())
+        return f"Triplestore(|O|={len(self._objects)}, {rels})"
+
+    # ------------------------------------------------------------------ #
+    # Derived stores (closure / composition support)
+    # ------------------------------------------------------------------ #
+
+    def with_relation(self, name: str, triples: Iterable[Triple]) -> "Triplestore":
+        """A new store with ``name`` (re)bound to ``triples``.
+
+        This is how query results are composed back into stores: the
+        closure property of TriAL means any expression result is a valid
+        relation for a new store.
+        """
+        rels: dict[str, Iterable[Triple]] = dict(self._relations)
+        rels[name] = frozenset(_as_triple(t) for t in triples)
+        return Triplestore(rels, self._rho, self._objects)
+
+    def with_rho(self, rho: Mapping[Obj, Any]) -> "Triplestore":
+        """A new store with the data-value function replaced."""
+        return Triplestore(self._relations, rho, self._objects)
+
+    def restrict(self, names: Iterable[str]) -> "Triplestore":
+        """A new store keeping only the given relations (objects retained)."""
+        keep = {n: self._relations[n] for n in names}
+        return Triplestore(keep, self._rho, self._objects)
+
+    # ------------------------------------------------------------------ #
+    # Indexes
+    # ------------------------------------------------------------------ #
+
+    def index(self, name: str, positions: tuple[int, ...]) -> dict[tuple, list[Triple]]:
+        """A hash index of relation ``name`` keyed on the given positions.
+
+        Positions are 0-based (0 = subject, 1 = predicate, 2 = object).
+        Indexes are built lazily and cached; stores are treated as
+        immutable so the cache never invalidates.
+
+        >>> t = Triplestore([("a", "p", "b"), ("a", "q", "c")])
+        >>> sorted(t.index("E", (0,))[("a",)])
+        [('a', 'p', 'b'), ('a', 'q', 'c')]
+        """
+        key = (name, positions)
+        cached = self._indexes.get(key)
+        if cached is not None:
+            return cached
+        idx: dict[tuple, list[Triple]] = {}
+        for triple in self.relation(name):
+            idx.setdefault(tuple(triple[p] for p in positions), []).append(triple)
+        self._indexes[key] = idx
+        return idx
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_pairs_of_relations(
+        cls, **relations: Iterable[Triple]
+    ) -> "Triplestore":
+        """Keyword-argument constructor: ``Triplestore.from_pairs_of_relations(E=[...], F=[...])``."""
+        return cls(dict(relations))
+
+    @classmethod
+    def empty(cls) -> "Triplestore":
+        """A store with one empty relation and no objects."""
+        return cls()

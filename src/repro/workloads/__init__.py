@@ -1,0 +1,39 @@
+"""Synthetic workloads and reference (ground-truth) implementations."""
+
+from repro.workloads.generators import (
+    chain_store,
+    clique_graph,
+    cycle_store,
+    random_graph,
+    random_store,
+)
+from repro.workloads.knowledge_graph import (
+    knowledge_graph,
+    reference_affiliated_via,
+)
+from repro.workloads.social import (
+    CONNECTION_TYPES,
+    same_type_reachability_reference,
+    social_network_store,
+)
+from repro.workloads.transport import (
+    PART_OF,
+    reference_query_q,
+    transport_network,
+)
+
+__all__ = [
+    "CONNECTION_TYPES",
+    "PART_OF",
+    "chain_store",
+    "clique_graph",
+    "cycle_store",
+    "knowledge_graph",
+    "random_graph",
+    "random_store",
+    "reference_query_q",
+    "same_type_reachability_reference",
+    "reference_affiliated_via",
+    "social_network_store",
+    "transport_network",
+]

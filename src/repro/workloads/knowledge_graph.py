@@ -1,0 +1,132 @@
+"""A realistic multi-domain knowledge-graph workload.
+
+The introduction motivates TriAL with Semantic-Web data where the same
+resource plays predicate and subject roles across domains.  This
+generator produces such a store: an organisational hierarchy, a
+geographic containment tree and typed person–organisation affiliations
+— with affiliation *types* that are themselves organised in a little
+ontology (so middles become subjects, the paper's hallmark).
+
+Relations (all folded into one E by default, mirroring RDF):
+
+* (person, affiliation_type, org) — employment/membership edges;
+* (affiliation_type, subtype_of, affiliation_type) — type ontology;
+* (org, part_of, org) — organisational hierarchy;
+* (org, located_in, place), (place, within, place) — geography.
+
+``reference_affiliated_via`` independently computes "people affiliated
+with an organisation under a type subsumed by T" for ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.triplestore.model import Triple, Triplestore
+
+PART_OF = "part_of"
+SUBTYPE_OF = "subtype_of"
+LOCATED_IN = "located_in"
+WITHIN = "within"
+
+AFFILIATION_ROOTS = ("affiliated", )
+AFFILIATION_LEAVES = (
+    "employee", "contractor", "board_member", "volunteer", "alumni"
+)
+
+
+def knowledge_graph(
+    n_people: int,
+    n_orgs: int,
+    n_places: int,
+    n_affiliations: int,
+    seed: int = 0,
+) -> Triplestore:
+    """Generate the workload; deterministic under ``seed``."""
+    rng = random.Random(seed)
+    people = [f"person{i}" for i in range(n_people)]
+    orgs = [f"org{i}" for i in range(n_orgs)]
+    places = [f"place{i}" for i in range(n_places)]
+
+    triples: set[Triple] = set()
+
+    # Affiliation-type ontology: leaves under intermediate groups under
+    # the root.
+    groups = ("staff", "external")
+    for leaf in AFFILIATION_LEAVES[:3]:
+        triples.add((leaf, SUBTYPE_OF, "staff"))
+    for leaf in AFFILIATION_LEAVES[3:]:
+        triples.add((leaf, SUBTYPE_OF, "external"))
+    for group in groups:
+        triples.add((group, SUBTYPE_OF, AFFILIATION_ROOTS[0]))
+
+    # Organisational hierarchy: a forest with a couple of roots.
+    for i, org in enumerate(orgs[1:], start=1):
+        parent = orgs[rng.randrange(0, i)]
+        triples.add((org, PART_OF, parent))
+
+    # Geography: a containment tree, orgs located in random places.
+    for i, place in enumerate(places[1:], start=1):
+        triples.add((place, WITHIN, places[rng.randrange(0, i)]))
+    for org in orgs:
+        triples.add((org, LOCATED_IN, rng.choice(places)))
+
+    # Affiliations.
+    for _ in range(n_affiliations):
+        triples.add(
+            (
+                rng.choice(people),
+                rng.choice(AFFILIATION_LEAVES),
+                rng.choice(orgs),
+            )
+        )
+
+    rho = {p: ("person", i % 5) for i, p in enumerate(people)}
+    rho.update({o: ("org", None) for o in orgs})
+    return Triplestore(triples, rho)
+
+
+def _ancestors(edges: set[tuple], label: str, store: Triplestore) -> dict:
+    """Reflexive-transitive closure of (x, label, y) edges, per source."""
+    succ: dict = {}
+    for s, p, o in store.relation("E"):
+        if p == label:
+            succ.setdefault(s, set()).add(o)
+    closure: dict = {}
+
+    def reach(x):
+        cached = closure.get(x)
+        if cached is not None:
+            return cached
+        seen = {x}
+        queue = deque([x])
+        while queue:
+            node = queue.popleft()
+            for nxt in succ.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        closure[x] = seen
+        return seen
+
+    return {x: reach(x) for x in set(succ) | {o for v in succ.values() for o in v}}
+
+
+def reference_affiliated_via(
+    store: Triplestore, affiliation_type: str
+) -> frozenset[tuple]:
+    """(person, org) pairs whose affiliation's type is subsumed by
+    ``affiliation_type`` (through subtype_of*), org taken up through
+    part_of* — the knowledge-graph analogue of query Q's inner pattern,
+    computed without the algebra."""
+    type_up = _ancestors(set(), SUBTYPE_OF, store)
+    org_up = _ancestors(set(), PART_OF, store)
+    result = set()
+    for s, p, o in store.relation("E"):
+        if not str(s).startswith("person"):
+            continue
+        if affiliation_type in type_up.get(p, {p}):
+            for org in org_up.get(o, {o}):
+                result.add((s, org))
+    return frozenset(result)

@@ -1,0 +1,84 @@
+"""Social-network workloads in the style of Section 2.3.
+
+Users and connections are both objects; ρ assigns quintuples
+(name, email, age, type, created) with ``None`` for the inapplicable
+components, exactly as the paper's example.  Since TriAL's η-conditions
+compare whole ρ-values, the generator can also expose single attributes
+(e.g. connection type) as the data value for stores aimed at
+``rho(2) = rho(2')`` joins.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.triplestore.model import Triple, Triplestore
+
+CONNECTION_TYPES = ("friend", "coworker", "rival", "brother")
+
+
+def social_network_store(
+    n_users: int,
+    n_connections: int,
+    data_mode: str = "quintuple",
+    seed: int = 0,
+) -> Triplestore:
+    """A random social network as a triplestore.
+
+    ``data_mode``:
+
+    * ``"quintuple"`` — the paper's (name, email, age, type, created);
+    * ``"type"`` — ρ of a connection is just its type string (users get
+      ``None``), convenient for same-type reachability queries.
+    """
+    if data_mode not in ("quintuple", "type"):
+        raise ValueError(f"unknown data_mode {data_mode!r}")
+    rng = random.Random(seed)
+    users = [f"u{i}" for i in range(n_users)]
+    triples: set[Triple] = set()
+    rho: dict = {}
+    for i, user in enumerate(users):
+        if data_mode == "quintuple":
+            rho[user] = (f"user{i}", f"user{i}@example.net", 18 + (i * 7) % 60, None, None)
+    for c in range(n_connections):
+        u, v = rng.sample(users, 2)
+        conn = f"conn{c}"
+        ctype = rng.choice(CONNECTION_TYPES)
+        created = f"20{10 + c % 15:02d}-01-01"
+        if data_mode == "quintuple":
+            rho[conn] = (None, None, None, ctype, created)
+        else:
+            rho[conn] = ctype
+        triples.add((u, conn, v))
+    return Triplestore(triples, rho)
+
+
+def same_type_reachability_reference(
+    store: Triplestore, relation: str = "E"
+) -> frozenset[Triple]:
+    """Ground truth for "reachable through connections of one type".
+
+    Matches the reachTA= star ``(E ✶^{1,2,3'}_{3=1', ρ(2)=ρ(2')})*``-like
+    queries used in the social-network example: chains of connections
+    whose ρ-values agree.  Returns triples (u, conn, v) where v is
+    reachable from u starting with connection ``conn`` and continuing
+    through connections with the same data value.
+    """
+    by_value: dict = {}
+    for s, p, o in store.relation(relation):
+        by_value.setdefault(store.rho(p), set()).add((s, p, o))
+    result: set[Triple] = set()
+    for _, triples in by_value.items():
+        succ: dict = {}
+        for s, _, o in triples:
+            succ.setdefault(s, set()).add(o)
+        for s, p, o in triples:
+            seen = {o}
+            frontier = {o}
+            while frontier:
+                frontier = {
+                    n for v in frontier for n in succ.get(v, ()) if n not in seen
+                }
+                seen |= frontier
+            result.update((s, p, target) for target in seen)
+    return frozenset(result)

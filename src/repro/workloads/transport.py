@@ -1,0 +1,117 @@
+"""Scaled transport networks in the shape of Figure 1.
+
+The generator produces a single relation E mixing *travel* triples
+(city, service, city) and *hierarchy* triples (service, part_of, parent)
+— exactly the mixed use of the middle position that motivates the paper.
+``reference_query_q`` is an independent implementation of query Q
+(per-company BFS) used as ground truth for the algebra.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.triplestore.model import Triple, Triplestore
+
+PART_OF = "part_of"
+
+
+def transport_network(
+    n_cities: int,
+    n_services: int,
+    n_companies: int,
+    hierarchy_depth: int = 2,
+    extra_routes: int = 0,
+    seed: int = 0,
+) -> Triplestore:
+    """A chain of cities plus random extra routes, serviced by a forest
+    of operators.
+
+    * cities ``c0 … c{n-1}`` are connected in a line, each hop assigned a
+      random service;
+    * ``extra_routes`` random (city, service, city) triples are added;
+    * services group into ``n_companies`` trees of depth
+      ``hierarchy_depth`` via part_of triples (with one extra cross link
+      so transitivity matters, as EastCoast ⊂ NatExpress does in Fig 1).
+    """
+    rng = random.Random(seed)
+    cities = [f"c{i}" for i in range(n_cities)]
+    services = [f"s{i}" for i in range(n_services)]
+    companies = [f"comp{i}" for i in range(n_companies)]
+
+    triples: set[Triple] = set()
+    for i in range(n_cities - 1):
+        triples.add((cities[i], rng.choice(services), cities[i + 1]))
+    for _ in range(extra_routes):
+        triples.add((rng.choice(cities), rng.choice(services), rng.choice(cities)))
+
+    # Hierarchy: service -> (chain of intermediates) -> company.
+    for idx, service in enumerate(services):
+        parent = service
+        for level in range(hierarchy_depth - 1):
+            mid = f"g{idx}_{level}"
+            triples.add((parent, PART_OF, mid))
+            parent = mid
+        triples.add((parent, PART_OF, companies[idx % n_companies]))
+    if n_companies >= 2:
+        # One company is itself part of another (EastCoast ⊂ NatExpress).
+        triples.add((companies[0], PART_OF, companies[1]))
+    return Triplestore(triples)
+
+
+def reference_query_q(store: Triplestore, relation: str = "E") -> frozenset[Triple]:
+    """Ground truth for query Q, computed without the algebra.
+
+    Q's TriAL* expression returns triples (x, y, z) such that x can reach
+    z through a chain of triples (uᵢ, wᵢ, uᵢ₊₁) where each wᵢ reaches y
+    through s→o hops (the operator hierarchy).  We compute it directly:
+
+    1. ``ancestors`` — reflexive-transitive s→o closure, per object;
+    2. for every y, the binary relation {(s, o) : ∃(s, w, o) ∈ E with
+       y ∈ ancestors(w)} and its (non-reflexive) transitive closure.
+    """
+    triples = store.relation(relation)
+    succ: dict = {}
+    for s, _, o in triples:
+        succ.setdefault(s, set()).add(o)
+
+    reach_cache: dict = {}
+
+    def ancestors(w) -> set:
+        cached = reach_cache.get(w)
+        if cached is not None:
+            return cached
+        seen = {w}
+        queue = deque([w])
+        while queue:
+            node = queue.popleft()
+            for nxt in succ.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        reach_cache[w] = seen
+        return seen
+
+    # Group (s, o) city-hops by each company y the hop's service rolls
+    # up to.
+    edges_by_company: dict = {}
+    for s, w, o in triples:
+        for y in ancestors(w):
+            edges_by_company.setdefault(y, set()).add((s, o))
+
+    result: set[Triple] = set()
+    for y, pairs in edges_by_company.items():
+        succ_y: dict = {}
+        for s, o in pairs:
+            succ_y.setdefault(s, set()).add(o)
+        for source in {s for s, _ in pairs}:
+            seen: set = set()
+            frontier = set(succ_y.get(source, ()))
+            while frontier:
+                seen |= frontier
+                frontier = {
+                    n for v in frontier for n in succ_y.get(v, ()) if n not in seen
+                }
+            result.update((source, y, target) for target in seen)
+    return frozenset(result)

@@ -1,0 +1,139 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.conditions import Cond
+from repro.core.expressions import (
+    Diff,
+    Intersect,
+    Join,
+    Rel,
+    Select,
+    Star,
+    Union,
+)
+from repro.core.positions import Const, Pos
+from repro.triplestore.model import Triplestore
+
+OBJECTS = ("a", "b", "c", "d", "e")
+DATA_VALUES = (0, 1)
+
+
+# --------------------------------------------------------------------- #
+# Fixtures
+# --------------------------------------------------------------------- #
+
+@pytest.fixture()
+def small_store() -> Triplestore:
+    """A small store with repeated middles and data values."""
+    return Triplestore(
+        [
+            ("a", "p", "b"),
+            ("b", "p", "c"),
+            ("c", "q", "a"),
+            ("p", "r", "q"),
+            ("a", "q", "c"),
+        ],
+        rho={"a": 0, "b": 1, "c": 0, "p": 1, "q": 1, "r": 0},
+    )
+
+
+@pytest.fixture()
+def two_relation_store() -> Triplestore:
+    return Triplestore(
+        {
+            "E": [("a", "p", "b"), ("b", "p", "c")],
+            "F": [("b", "q", "a"), ("c", "q", "b")],
+        },
+        rho={"a": 0, "b": 0, "c": 1, "p": 1, "q": 1},
+    )
+
+
+# --------------------------------------------------------------------- #
+# Hypothesis strategies
+# --------------------------------------------------------------------- #
+
+objects_st = st.sampled_from(OBJECTS)
+triples_st = st.tuples(objects_st, objects_st, objects_st)
+
+
+@st.composite
+def stores(draw, min_triples: int = 1, max_triples: int = 12) -> Triplestore:
+    """Random single-relation stores over a 5-object pool with ρ-values."""
+    triples = draw(
+        st.sets(triples_st, min_size=min_triples, max_size=max_triples)
+    )
+    rho = {o: draw(st.sampled_from(DATA_VALUES)) for o in OBJECTS}
+    return Triplestore(triples, rho)
+
+
+def _term(draw, max_pos: int, allow_const: bool, on_data: bool):
+    use_const = allow_const and draw(st.booleans())
+    if use_const:
+        pool = DATA_VALUES if on_data else OBJECTS
+        return Const(draw(st.sampled_from(pool)))
+    return Pos(draw(st.integers(0, max_pos)))
+
+
+@st.composite
+def conditions(draw, max_pos: int = 5, max_conds: int = 2) -> tuple[Cond, ...]:
+    """Random θ/η condition tuples over positions 0..max_pos."""
+    n = draw(st.integers(0, max_conds))
+    out = []
+    for _ in range(n):
+        on_data = draw(st.booleans())
+        left = _term(draw, max_pos, allow_const=False, on_data=on_data)
+        right = _term(draw, max_pos, allow_const=True, on_data=on_data)
+        op = draw(st.sampled_from(("=", "!=")))
+        out.append(Cond(left, right, op, on_data))
+    return tuple(out)
+
+
+out_specs = st.tuples(
+    st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)
+)
+
+
+@st.composite
+def expressions(draw, max_depth: int = 3, allow_star: bool = True):
+    """Random TriAL(*) expressions over the single relation E.
+
+    U is deliberately excluded (its translation/benchmark behaviour is
+    covered by dedicated tests); stars are bounded to depth-1 operands
+    to keep naive-engine fixpoints quick.
+    """
+    if max_depth <= 0:
+        return Rel("E")
+    kind = draw(
+        st.sampled_from(
+            ("rel", "select", "union", "diff", "intersect", "join", "join")
+            + (("star", "lstar") if allow_star else ())
+        )
+    )
+    if kind == "rel":
+        return Rel("E")
+    if kind == "select":
+        inner = draw(expressions(max_depth=max_depth - 1, allow_star=allow_star))
+        return Select(inner, draw(conditions(max_pos=2)))
+    if kind in ("union", "diff", "intersect"):
+        left = draw(expressions(max_depth=max_depth - 1, allow_star=allow_star))
+        right = draw(expressions(max_depth=max_depth - 1, allow_star=allow_star))
+        cls = {"union": Union, "diff": Diff, "intersect": Intersect}[kind]
+        return cls(left, right)
+    if kind == "join":
+        left = draw(expressions(max_depth=max_depth - 1, allow_star=allow_star))
+        right = draw(expressions(max_depth=max_depth - 1, allow_star=allow_star))
+        return Join(left, right, draw(out_specs), draw(conditions()))
+    # Star operands stay small (a relation or one selection): the naive
+    # engine's full-re-join fixpoint is intentionally quadratic per round,
+    # so a star over a product-sized base would dominate the test budget
+    # without exercising anything new.
+    if draw(st.booleans()):
+        inner = Rel("E")
+    else:
+        inner = Select(Rel("E"), draw(conditions(max_pos=2, max_conds=1)))
+    side = "right" if kind == "star" else "left"
+    return Star(inner, draw(out_specs), draw(conditions()), side)

@@ -1,0 +1,119 @@
+"""Tests for the regex/NFA substrate and register automata."""
+
+import pytest
+
+from repro.automata import (
+    Alt,
+    Concat,
+    Epsilon,
+    Inverse,
+    Label,
+    RegCond,
+    RemConcat,
+    RemLetter,
+    RemStar,
+    RemStore,
+    Star,
+    compile_regex,
+    compile_rem,
+    evaluate_rem,
+    parse_regex,
+)
+from repro.errors import ParseError
+
+
+class TestRegexParser:
+    def test_label(self):
+        assert parse_regex("abc") == Label("abc")
+
+    def test_quoted_label(self):
+        assert parse_regex("'part of'") == Label("part of")
+
+    def test_concat_union_star(self):
+        assert parse_regex("a.(b+c)*") == Concat(
+            Label("a"), Star(Alt(Label("b"), Label("c")))
+        )
+
+    def test_inverse(self):
+        assert parse_regex("a-") == Inverse("a")
+        assert parse_regex("a-.b") == Concat(Inverse("a"), Label("b"))
+
+    def test_epsilon(self):
+        assert parse_regex("()") == Epsilon()
+
+    def test_labels_collected(self):
+        assert parse_regex("a.(b+c)*.a-").labels() == {"a", "b", "c"}
+
+    @pytest.mark.parametrize("text", ["", "a..b", "(a", "a+", "*a"])
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_regex(text)
+
+
+class TestNFA:
+    def test_acceptance(self):
+        nfa = compile_regex(parse_regex("a.b*"))
+        assert nfa.accepts([("a", True)])
+        assert nfa.accepts([("a", True), ("b", True), ("b", True)])
+        assert not nfa.accepts([])
+        assert not nfa.accepts([("b", True)])
+
+    def test_union(self):
+        nfa = compile_regex(parse_regex("a+b"))
+        assert nfa.accepts([("a", True)])
+        assert nfa.accepts([("b", True)])
+        assert not nfa.accepts([("a", True), ("b", True)])
+
+    def test_inverse_symbols(self):
+        nfa = compile_regex(parse_regex("a-.a"))
+        assert nfa.accepts([("a", False), ("a", True)])
+        assert not nfa.accepts([("a", True), ("a", True)])
+
+    def test_epsilon_regex(self):
+        nfa = compile_regex(parse_regex("()"))
+        assert nfa.accepts([])
+        assert not nfa.accepts([("a", True)])
+
+    def test_star_accepts_empty(self):
+        nfa = compile_regex(parse_regex("a*"))
+        assert nfa.accepts([])
+        assert nfa.accepts([("a", True)] * 5)
+
+
+class TestRegisterAutomata:
+    EDGES = [("u", "a", "v"), ("v", "a", "w"), ("w", "a", "u")]
+    RHO = {"u": 1, "v": 2, "w": 1}
+
+    def test_store_then_test_neq(self):
+        # ↓x . a[x≠]: move to a neighbour with a different value.
+        expr = RemConcat(RemStore("x"), RemLetter("a", (RegCond("x", False),)))
+        got = evaluate_rem(expr, self.EDGES, self.RHO)
+        assert ("u", "v") in got  # 1 -> 2
+        assert ("v", "w") in got  # 2 -> 1
+        assert ("w", "u") not in got  # 1 -> 1 blocked
+
+    def test_store_then_test_eq(self):
+        expr = RemConcat(RemStore("x"), RemLetter("a", (RegCond("x", True),)))
+        got = evaluate_rem(expr, self.EDGES, self.RHO)
+        assert ("w", "u") in got
+        assert ("u", "v") not in got
+
+    def test_unset_register_blocks(self):
+        expr = RemLetter("a", (RegCond("x", True),))
+        assert evaluate_rem(expr, self.EDGES, self.RHO) == frozenset()
+
+    def test_star_and_alt(self):
+        from repro.automata import RemAlt, RemEps
+
+        expr = RemStar(RemLetter("a"))
+        got = evaluate_rem(expr, self.EDGES, self.RHO)
+        assert ("u", "u") in got  # zero steps
+        assert ("u", "w") in got  # two steps
+        alt = RemAlt(RemEps(), RemLetter("a"))
+        got2 = evaluate_rem(alt, self.EDGES, self.RHO)
+        assert ("u", "u") in got2 and ("u", "v") in got2
+
+    def test_compile_rem_structure(self):
+        nfa = compile_rem(RemConcat(RemStore("x"), RemLetter("a")))
+        assert nfa.start != nfa.accept
+        assert nfa.transitions

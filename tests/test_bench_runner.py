@@ -1,0 +1,43 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench import Measurement, fit_loglog_slope, format_table, sweep
+
+
+class TestSlopeFit:
+    def test_quadratic(self):
+        pts = [Measurement(n, 1e-6 * n ** 2) for n in (10, 20, 40, 80)]
+        assert fit_loglog_slope(pts) == pytest.approx(2.0, abs=0.01)
+
+    def test_linear(self):
+        pts = [Measurement(n, 1e-6 * n) for n in (10, 20, 40, 80)]
+        assert fit_loglog_slope(pts) == pytest.approx(1.0, abs=0.01)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([Measurement(1, 1.0)])
+
+
+class TestSweep:
+    def test_collects_measurements(self):
+        log = []
+
+        def run(payload):
+            log.append(payload)
+
+        points = sweep(lambda n: n, run, sizes=(1, 2, 3), repeats=1)
+        assert [m.size for m in points] == [1, 2, 3]
+        assert log == [1, 2, 3]
+        assert all(m.seconds >= 0 for m in points)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            [("TriAL", 1.9), ("TriAL*", 2.8)], headers=("fragment", "slope")
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("fragment")
+        assert len(lines) == 4
+        assert "TriAL*" in lines[3]

@@ -1,0 +1,98 @@
+"""CLI smoke and behaviour tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.rdf.datasets import figure1
+from repro.triplestore import dump_path
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    path = tmp_path / "fig1.tstore"
+    dump_path(figure1(), str(path))
+    return str(path)
+
+
+@pytest.fixture()
+def program_path(tmp_path):
+    path = tmp_path / "q.dl"
+    path.write_text(
+        "R(x,y,z) :- E(x,y,z).\n"
+        "R(x,y,w) :- R(x,y,z), E(z,u,w).\n"
+        "Ans(x,y,z) :- R(x,y,z).\n"
+    )
+    return str(path)
+
+
+class TestQuery:
+    def test_basic_query(self, store_path, capsys):
+        assert main(["query", store_path, "E"]) == 0
+        out = capsys.readouterr().out
+        assert "# 7 triples" in out
+
+    def test_star_query_with_engine(self, store_path, capsys):
+        code = main(
+            ["query", store_path, "star[1,2,3'; 3=1'](E)", "--engine", "fast", "--limit", "0"]
+        )
+        assert code == 0
+        assert "Brussels" in capsys.readouterr().out
+
+    def test_optimize_flag(self, store_path, capsys):
+        code = main(
+            ["query", store_path, "select[](select[2='part_of'](E))", "--optimize"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "optimized" in err
+
+    def test_limit_truncates(self, store_path, capsys):
+        assert main(["query", store_path, "E", "--limit", "2"]) == 0
+        assert "more" in capsys.readouterr().out
+
+    def test_parse_error_is_reported(self, store_path, capsys):
+        assert main(["query", store_path, "join[**](E)"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["query", "/nonexistent.tstore", "E"]) == 1
+
+
+class TestDatalog:
+    def test_run_program(self, store_path, program_path, capsys):
+        code = main(["datalog", store_path, program_path, "--limit", "0"])
+        assert code == 0
+        assert "triples" in capsys.readouterr().out
+
+    def test_validation_pass(self, store_path, program_path, capsys):
+        code = main(
+            ["datalog", store_path, program_path, "--validate", "ReachTripleDatalog"]
+        )
+        assert code == 0
+        assert "valid" in capsys.readouterr().err
+
+    def test_validation_fail(self, store_path, tmp_path, capsys):
+        bad = tmp_path / "bad.dl"
+        bad.write_text("Ans(x,y,z) :- E(x,y,z), E(z,y,x), E(y,x,z).\n")
+        code = main(["datalog", store_path, str(bad), "--validate", "TripleDatalog"])
+        assert code == 1
+
+
+class TestInfo:
+    def test_info(self, store_path, capsys):
+        assert main(["info", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "objects:   11" in out
+        assert "triples:   7" in out
+
+
+class TestExplain:
+    def test_explain_query(self, capsys):
+        assert main(["explain", "star[1,2,3'; 3=1'](E)"]) == 0
+        out = capsys.readouterr().out
+        assert "reachTA=" in out
+        assert "Proposition 5" in out
+
+    def test_explain_with_optimize(self, capsys):
+        assert main(["explain", "select[](E) | select[](E)", "--optimize"]) == 0
+        assert "TriAL" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+"""Tests for positions and θ/η conditions."""
+
+import pytest
+
+from repro.errors import AlgebraError, ParseError
+from repro.core.conditions import (
+    Cond,
+    as_conditions,
+    equalities_only,
+    eta,
+    parse_conditions,
+    theta,
+)
+from repro.core.positions import Const, Pos, format_out_spec, parse_out_spec
+
+
+class TestPositions:
+    def test_paper_names(self):
+        assert Pos(0).paper_name == "1"
+        assert Pos(5).paper_name == "3'"
+
+    def test_from_paper(self):
+        assert Pos.from_paper("2'").index == 4
+        with pytest.raises(AlgebraError):
+            Pos.from_paper("4")
+
+    def test_sides(self):
+        assert Pos(1).is_left and not Pos(1).is_right
+        assert Pos(4).is_right
+        assert Pos(4).local_index == 1
+
+    def test_bounds(self):
+        with pytest.raises(AlgebraError):
+            Pos(6)
+
+    def test_out_spec_roundtrip(self):
+        assert parse_out_spec("1,3',3") == (0, 5, 2)
+        assert format_out_spec((0, 5, 2)) == "1,3',3"
+        with pytest.raises(AlgebraError):
+            parse_out_spec("1,2")
+
+
+class TestCondEvaluation:
+    RHO = {"a": 1, "b": 1, "c": 2}.get
+
+    def test_object_equality(self):
+        cond = Cond(Pos(0), Pos(3))
+        assert cond.evaluate(("a", "x", "y"), ("a", "z", "w"), self.RHO)
+        assert not cond.evaluate(("a", "x", "y"), ("b", "z", "w"), self.RHO)
+
+    def test_object_inequality(self):
+        cond = Cond(Pos(0), Pos(2), "!=")
+        assert cond.evaluate(("a", "x", "b"), None, self.RHO)
+        assert not cond.evaluate(("a", "x", "a"), None, self.RHO)
+
+    def test_object_constant(self):
+        cond = Cond(Pos(1), Const("part_of"))
+        assert cond.evaluate(("a", "part_of", "b"), None, self.RHO)
+
+    def test_data_equality_uses_rho(self):
+        cond = Cond(Pos(0), Pos(3), "=", on_data=True)
+        assert cond.evaluate(("a", "x", "y"), ("b", "z", "w"), self.RHO)
+        assert not cond.evaluate(("a", "x", "y"), ("c", "z", "w"), self.RHO)
+
+    def test_data_constant(self):
+        cond = Cond(Pos(0), Const(2), "=", on_data=True)
+        assert cond.evaluate(("c", "x", "y"), None, self.RHO)
+
+    def test_missing_right_operand(self):
+        cond = Cond(Pos(0), Pos(3))
+        with pytest.raises(AlgebraError):
+            cond.evaluate(("a", "b", "c"), None, self.RHO)
+
+    def test_bad_operator(self):
+        with pytest.raises(AlgebraError):
+            Cond(Pos(0), Pos(1), "<")
+
+    def test_swap_sides(self):
+        cond = Cond(Pos(0), Pos(4), "!=", on_data=True).swap_sides()
+        assert cond.left == Pos(3)
+        assert cond.right == Pos(1)
+
+    def test_shift_right(self):
+        cond = Cond(Pos(0), Const("a")).shift_right()
+        assert cond.left == Pos(3)
+        assert cond.right == Const("a")
+
+
+class TestConditionParsing:
+    def test_theta_equality(self):
+        (cond,) = parse_conditions("2=1'")
+        assert cond == Cond(Pos(1), Pos(3))
+
+    def test_eta_and_mixed_list(self):
+        conds = parse_conditions("1!=3' & rho(2)=rho(2')")
+        assert theta(conds) == (Cond(Pos(0), Pos(5), "!="),)
+        assert eta(conds) == (Cond(Pos(1), Pos(4), "=", True),)
+
+    def test_object_constant(self):
+        (cond,) = parse_conditions("2='part_of'")
+        assert cond == Cond(Pos(1), Const("part_of"))
+
+    def test_numeric_data_constant(self):
+        (cond,) = parse_conditions("rho(3)=7")
+        assert cond == Cond(Pos(2), Const(7), "=", True)
+
+    def test_empty(self):
+        assert parse_conditions("") == ()
+        assert as_conditions(None) == ()
+
+    def test_mixed_rho_and_bare_rejected(self):
+        with pytest.raises(ParseError):
+            parse_conditions("rho(1)=2'")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_conditions("1 ~ 2")
+
+    def test_comma_separator_allowed(self):
+        assert len(parse_conditions("1=2, 2=3")) == 2
+
+    def test_equalities_only(self):
+        assert equalities_only(parse_conditions("1=2 & rho(1)=rho(2)"))
+        assert not equalities_only(parse_conditions("1!=2"))
+
+    def test_repr_reparses(self):
+        conds = parse_conditions("2=1' & rho(3)!=rho(3') & 1='x'")
+        again = parse_conditions(" & ".join(repr(c) for c in conds))
+        assert again == conds

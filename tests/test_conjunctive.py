@@ -1,0 +1,77 @@
+"""Tests for conjunctive graph queries (CRPQs and CNREs, §6.2)."""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.errors import GraphError
+from repro.graphdb import GraphDB, cnre, crpq
+from repro.workloads.generators import random_graph
+
+
+@pytest.fixture()
+def g() -> GraphDB:
+    return GraphDB(
+        ["u", "v", "w"],
+        [("u", "a", "v"), ("v", "b", "w"), ("u", "a", "w")],
+    )
+
+
+class TestEvaluation:
+    def test_single_atom(self, g):
+        q = crpq([("x", "a", "y")], free=("x", "y"))
+        assert q.evaluate(g) == {("u", "v"), ("u", "w")}
+
+    def test_join_on_shared_variable(self, g):
+        q = crpq([("x", "a", "y"), ("y", "b", "z")], free=("x", "z"))
+        assert q.evaluate(g) == {("u", "w")}
+
+    def test_existential_variables_projected(self, g):
+        q = crpq([("x", "a", "y"), ("y", "b", "z")], free=("x",))
+        assert q.evaluate(g) == {("u",)}
+
+    def test_cycle_pattern(self, g):
+        q = crpq([("x", "a", "y"), ("x", "a", "z"), ("y", "b", "z")], free=("x",))
+        assert q.evaluate(g) == {("u",)}
+
+    def test_cnre_with_nesting(self, g):
+        q = cnre([("x", "a.[b]", "y")], free=("x", "y"))
+        assert q.evaluate(g) == {("u", "v")}
+
+    def test_unsatisfiable(self, g):
+        q = crpq([("x", "b.a", "y")], free=("x", "y"))
+        assert q.evaluate(g) == frozenset()
+
+    def test_free_vars_validated(self):
+        with pytest.raises(GraphError):
+            crpq([("x", "a", "y")], free=("zz",))
+
+    def test_empty_atom_list_rejected(self):
+        from repro.graphdb.conjunctive import ConjunctiveQuery
+
+        with pytest.raises(GraphError):
+            ConjunctiveQuery([], free=())
+
+    def test_num_variables(self, g):
+        q = crpq([("x", "a", "y"), ("y", "b", "z")], free=("x", "z"))
+        assert q.num_variables() == 3
+
+
+class TestMonotonicity:
+    """Theorem 8 hinges on CNREs being monotone — property-tested here."""
+
+    @given(st.integers(0, 2 ** 31 - 1), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_adding_edges_grows_answers(self, seed, extra_seed):
+        g = random_graph(5, 6, seed=seed)
+        bigger_edges = set(g.edges) | set(random_graph(5, 3, seed=extra_seed).edges)
+        nodes = g.nodes | {u for u, _, v in bigger_edges} | {
+            v for _, _, v in bigger_edges
+        }
+        g2 = GraphDB(nodes, bigger_edges, g.rho_map())
+        queries = [
+            crpq([("x", "a.b", "y")], free=("x", "y")),
+            cnre([("x", "a.[b*]", "y"), ("y", "(a+b)*", "z")], free=("x", "z")),
+        ]
+        for q in queries:
+            assert q.evaluate(g) <= q.evaluate(g2)

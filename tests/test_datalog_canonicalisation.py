@@ -1,0 +1,72 @@
+"""Edge cases of the evaluator's equality canonicalisation.
+
+The semi-naive engine folds positive ``x = y`` / ``x = c`` literals into
+the atoms before matching (turning the Prop 2 translation's
+generate-and-filter joins into indexed unification).  These tests pin
+the tricky behaviours: constant pins, merged groups, contradictions,
+and interaction with negation and ∼.
+"""
+
+from repro.datalog import parse_program, run_program
+from repro.triplestore import Triplestore
+
+STORE = Triplestore(
+    [
+        ("a", "p", "b"),
+        ("b", "p", "c"),
+        ("a", "q", "c"),
+    ],
+    rho={"a": 1, "b": 1, "c": 2, "p": 0, "q": 0},
+)
+
+
+class TestEqualityFolding:
+    def test_var_var_equality_joins(self):
+        p = parse_program("Ans(x,y,w) :- E(x,y,z), E(u,v,w), z = u.")
+        got = run_program(p, STORE)
+        assert ("a", "p", "c") in got
+
+    def test_transitive_equalities(self):
+        p = parse_program("Ans(x,y,z) :- E(x,y,z), E(u,v,w), x = u, u = x.")
+        assert run_program(p, STORE) == STORE.relation("E")
+
+    def test_var_const_pin(self):
+        p = parse_program("Ans(x,y,z) :- E(x,y,z), y = 'q'.")
+        assert run_program(p, STORE) == {("a", "q", "c")}
+
+    def test_pin_propagates_through_group(self):
+        # x = y and y = 'a' pins x to 'a' as well.
+        p = parse_program("Ans(x,y,z) :- E(x,y,z), E(u,v,w), x = u, u = 'a'.")
+        got = run_program(p, STORE)
+        assert got == {("a", "p", "b"), ("a", "q", "c")}
+
+    def test_contradictory_pins_yield_empty(self):
+        p = parse_program("Ans(x,y,z) :- E(x,y,z), x = 'a', x = 'b'.")
+        assert run_program(p, STORE) == frozenset()
+
+    def test_pinned_head_variable(self):
+        p = parse_program("Ans(x,y,z) :- E(x,y,z), x = 'a'.")
+        got = run_program(p, STORE)
+        assert got == {("a", "p", "b"), ("a", "q", "c")}
+
+    def test_negated_equalities_stay_checks(self):
+        p = parse_program("Ans(x,y,z) :- E(x,y,z), x != 'a'.")
+        assert run_program(p, STORE) == {("b", "p", "c")}
+
+    def test_interaction_with_sim(self):
+        # Merge x/u, then require same data value with w.
+        p = parse_program("Ans(x,y,w) :- E(x,y,z), E(u,v,w), z = u, ~(x, x).")
+        got = run_program(p, STORE)
+        assert ("a", "p", "c") in got
+
+    def test_recursive_rule_with_equalities(self):
+        p = parse_program(
+            """
+            R(x,y,z) :- E(x,y,z).
+            R(x,y,w) :- R(x,y,z), E(u,v,w), z = u, y = v.
+            Ans(x,y,z) :- R(x,y,z).
+            """
+        )
+        got = run_program(p, STORE)
+        assert ("a", "p", "c") in got  # a-p->b-p->c shares label p
+        assert ("a", "q", "b") not in got

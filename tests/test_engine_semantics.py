@@ -1,0 +1,197 @@
+"""Semantics tests for the evaluation engines on hand-built stores."""
+
+import pytest
+
+from repro.errors import EvaluationBudgetError, FragmentError
+from repro.core import (
+    FastEngine,
+    HashJoinEngine,
+    NaiveEngine,
+    R,
+    Universe,
+    complement,
+    diagonal,
+    evaluate,
+    intersect_as_join,
+    join,
+    lstar,
+    permute,
+    select,
+    star,
+    universe_as_joins,
+)
+from repro.triplestore import Triplestore
+
+ENGINES = [HashJoinEngine(), NaiveEngine(), FastEngine()]
+
+
+@pytest.fixture(params=ENGINES, ids=lambda e: type(e).__name__)
+def engine(request):
+    return request.param
+
+
+class TestBasicOperators:
+    def test_relation_lookup(self, engine, small_store):
+        assert evaluate(R("E"), small_store, engine) == small_store.relation("E")
+
+    def test_select_on_objects(self, engine, small_store):
+        got = evaluate(select(R("E"), "2='p'"), small_store, engine)
+        assert got == {("a", "p", "b"), ("b", "p", "c")}
+
+    def test_select_on_data(self, engine, small_store):
+        got = evaluate(select(R("E"), "rho(1)=rho(3)"), small_store, engine)
+        # rho: a=0,b=1,c=0,p=1,q=1,r=0
+        assert got == {("a", "q", "c"), ("c", "q", "a"), ("p", "r", "q")}
+
+    def test_select_inequality(self, engine, small_store):
+        got = evaluate(select(R("E"), "1!=3"), small_store, engine)
+        assert got == small_store.relation("E")
+
+    def test_union_diff_intersect(self, engine, two_relation_store):
+        t = two_relation_store
+        assert evaluate(R("E") | R("F"), t, engine) == t.relation("E") | t.relation("F")
+        assert evaluate(R("E") - R("F"), t, engine) == t.relation("E")
+        assert evaluate(R("E") & R("E"), t, engine) == t.relation("E")
+        assert evaluate(R("E") & R("F"), t, engine) == frozenset()
+
+
+class TestJoins:
+    def test_composition_join(self, engine):
+        t = Triplestore([("a", "p", "b"), ("b", "q", "c")])
+        got = evaluate(join(R("E"), R("E"), "1,2,3'", "3=1'"), t, engine)
+        assert got == {("a", "p", "c")}
+
+    def test_join_without_conditions_is_product(self, engine):
+        t = Triplestore([("a", "p", "b"), ("c", "q", "d")])
+        got = evaluate(join(R("E"), R("E"), "1,1',2'", ""), t, engine)
+        assert got == {
+            ("a", "a", "p"), ("a", "c", "q"), ("c", "a", "p"), ("c", "c", "q")
+        }
+
+    def test_join_with_object_constant(self, engine):
+        t = Triplestore([("a", "p", "b"), ("b", "part_of", "c")])
+        got = evaluate(
+            join(R("E"), R("E"), "1,2,3'", "3=1' & 2'='part_of'"), t, engine
+        )
+        assert got == {("a", "p", "c")}
+
+    def test_join_on_data_values(self, engine):
+        t = Triplestore(
+            [("a", "p", "b"), ("c", "q", "d")],
+            rho={"a": 1, "c": 1, "b": 2, "d": 3},
+        )
+        got = evaluate(
+            join(R("E"), R("E"), "1,1',3", "rho(1)=rho(1') & 3!=3'"), t, engine
+        )
+        assert got == {("a", "c", "b"), ("c", "a", "d")}
+
+    def test_cross_inequality(self, engine):
+        t = Triplestore([("a", "p", "b"), ("b", "q", "c")])
+        got = evaluate(join(R("E"), R("E"), "1,1',3", "1!=1'"), t, engine)
+        assert got == {("a", "b", "b"), ("b", "a", "c")}
+
+    def test_output_can_repeat_positions(self, engine):
+        t = Triplestore([("a", "p", "b")])
+        got = evaluate(join(R("E"), R("E"), "1,1,1"), t, engine)
+        assert got == {("a", "a", "a")}
+
+
+class TestStars:
+    def test_right_star_reach(self, engine):
+        t = Triplestore([("a", "p", "b"), ("b", "q", "c"), ("c", "r", "d")])
+        got = evaluate(star(R("E"), "1,2,3'", "3=1'"), t, engine)
+        assert ("a", "p", "d") in got
+        assert ("a", "p", "b") in got  # level 1
+        assert ("b", "q", "d") in got
+
+    def test_star_on_cycle_terminates(self, engine):
+        t = Triplestore([("a", "p", "b"), ("b", "p", "a")])
+        got = evaluate(star(R("E"), "1,2,3'", "3=1'"), t, engine)
+        assert got == {
+            ("a", "p", "b"), ("b", "p", "a"), ("a", "p", "a"), ("b", "p", "b")
+        }
+
+    def test_left_vs_right_differ(self, engine):
+        # Example 3's store, checked per engine (full values in
+        # test_paper_examples).
+        t = Triplestore([("a", "b", "c"), ("c", "d", "e"), ("d", "e", "f")])
+        right = evaluate(star(R("E"), "1,2,2'", "3=1'"), t, engine)
+        left = evaluate(lstar(R("E"), "1,2,2'", "3=1'"), t, engine)
+        assert right != left
+
+    def test_same_label_star(self, engine):
+        t = Triplestore(
+            [("a", "l", "b"), ("b", "l", "c"), ("c", "m", "d")]
+        )
+        got = evaluate(star(R("E"), "1,2,3'", "3=1' & 2=2'"), t, engine)
+        assert ("a", "l", "c") in got
+        assert ("a", "l", "d") not in got  # label changes at c
+
+    def test_star_of_empty_is_empty(self, engine):
+        t = Triplestore([])
+        assert evaluate(star(R("E"), "1,2,3'", "3=1'"), t, engine) == frozenset()
+
+
+class TestUniverseAndDerived:
+    def test_universe_is_active_domain_cubed(self, engine):
+        t = Triplestore([("a", "p", "b")], extra_objects=["zzz"])
+        got = evaluate(Universe(), t, engine)
+        assert len(got) == 27  # zzz not active
+
+    def test_universe_as_joins_matches(self, engine, small_store):
+        native = evaluate(Universe(), small_store, engine)
+        derived = evaluate(universe_as_joins(["E"]), small_store, engine)
+        assert native == derived
+
+    def test_complement(self, engine):
+        t = Triplestore([("a", "p", "b")])
+        got = evaluate(complement(R("E")), t, engine)
+        assert len(got) == 26
+        assert ("a", "p", "b") not in got
+
+    def test_intersect_as_join_matches_native(self, engine, small_store):
+        e1 = join(R("E"), R("E"), "1,2,3'", "3=1'")
+        native = evaluate(R("E") & e1, small_store, engine)
+        derived = evaluate(intersect_as_join(R("E"), e1), small_store, engine)
+        assert native == derived
+
+    def test_permute_reverses(self, engine, small_store):
+        got = evaluate(permute(R("E"), "3,2,1"), small_store, engine)
+        assert got == {(o, p, s) for s, p, o in small_store.relation("E")}
+
+    def test_diagonal(self, engine):
+        t = Triplestore([("a", "p", "b")])
+        got = evaluate(diagonal(), t, engine)
+        assert got == {("a", "a", "a"), ("p", "p", "p"), ("b", "b", "b")}
+
+    def test_universe_budget(self):
+        t = Triplestore([(f"o{i}", f"p{i}", f"q{i}") for i in range(20)])
+        engine = HashJoinEngine(max_universe_objects=10)
+        with pytest.raises(EvaluationBudgetError):
+            engine.evaluate(Universe(), t)
+
+
+class TestFastEngineSpecifics:
+    def test_strict_rejects_inequalities(self, small_store):
+        engine = FastEngine(strict=True)
+        with pytest.raises(FragmentError):
+            engine.evaluate(select(R("E"), "1!=2"), small_store)
+
+    def test_strict_rejects_general_star(self, small_store):
+        engine = FastEngine(strict=True)
+        with pytest.raises(FragmentError):
+            engine.evaluate(star(R("E"), "1,3',3", "2=1'"), small_store)
+
+    def test_strict_accepts_reach_fragment(self, small_store):
+        engine = FastEngine(strict=True)
+        got = engine.evaluate(star(R("E"), "1,2,3'", "3=1'"), small_store)
+        assert got == HashJoinEngine().evaluate(
+            star(R("E"), "1,2,3'", "3=1'"), small_store
+        )
+
+    def test_nonstrict_falls_back(self, small_store):
+        engine = FastEngine(strict=False)
+        e = star(R("E"), "1,3',3", "2=1'")
+        assert engine.evaluate(e, small_store) == HashJoinEngine().evaluate(
+            e, small_store
+        )

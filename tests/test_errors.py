@@ -1,0 +1,73 @@
+"""The error hierarchy: everything deliberate derives from ReproError."""
+
+import pytest
+
+from repro.errors import (
+    AlgebraError,
+    DatalogError,
+    EvaluationBudgetError,
+    FragmentError,
+    GraphError,
+    LogicError,
+    ParseError,
+    ReproError,
+    StratificationError,
+    TranslationError,
+    TriplestoreError,
+    UnknownRelationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            AlgebraError,
+            DatalogError,
+            EvaluationBudgetError,
+            FragmentError,
+            GraphError,
+            LogicError,
+            ParseError,
+            StratificationError,
+            TranslationError,
+            TriplestoreError,
+            UnknownRelationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_fragment_is_algebra_error(self):
+        assert issubclass(FragmentError, AlgebraError)
+
+    def test_stratification_is_datalog_error(self):
+        assert issubclass(StratificationError, DatalogError)
+
+    def test_unknown_relation_carries_hints(self):
+        err = UnknownRelationError("X", ("E", "F"))
+        assert err.name == "X"
+        assert "E, F" in str(err)
+
+    def test_parse_error_snippet(self):
+        err = ParseError("bad token", "select[1=](E)", 9)
+        assert "position 9" in str(err)
+        assert err.pos == 9
+
+
+class TestCatchability:
+    def test_one_except_clause_covers_the_library(self):
+        from repro.core import evaluate, parse
+        from repro.triplestore import Triplestore
+
+        failures = 0
+        for bad in ("join[9](E, F)", "select[~~](E)"):
+            try:
+                parse(bad)
+            except ReproError:
+                failures += 1
+        try:
+            evaluate(parse("Nope"), Triplestore([("a", "b", "c")]))
+        except ReproError:
+            failures += 1
+        assert failures == 3

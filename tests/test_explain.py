@@ -1,0 +1,84 @@
+"""Tests for the static query analyser."""
+
+from repro.core import (
+    R,
+    Universe,
+    complement,
+    join,
+    query_q,
+    reach_forward,
+    select,
+    star,
+)
+from repro.core.explain import explain
+from repro.core.semijoin import semijoin
+
+
+class TestFragments:
+    def test_query_q_fragment(self):
+        """Q's inner star (E ✶^{1,3',3}_{2=1'})* is *not* one of the two
+        reach shapes, so Q sits in the equality-only TriAL*= regime; only
+        its outer star is reach-shaped."""
+        report = explain(query_q())
+        assert "TriAL*=" in report.fragment
+        assert report.recommended_engine == "FastEngine"
+        assert report.n_stars == 2 and report.n_reach_stars == 1
+
+    def test_pure_reach_query_is_reach_fragment(self):
+        nested = star(
+            star(R("E"), "1,2,3'", "3=1'"), "1,2,3'", "3=1' & 2=2'"
+        )
+        report = explain(nested)
+        assert report.fragment == "reachTA="
+        assert "Proposition 5" in report.guarantee
+
+    def test_plain_join_is_trial_eq(self):
+        report = explain(join(R("E"), R("E"), "1,2,3'", "3=1'"))
+        assert report.fragment == "TriAL="
+        assert "Proposition 4" in report.guarantee
+
+    def test_semijoin_fragment_detected(self):
+        report = explain(semijoin(R("E"), R("F"), "3=1'"))
+        assert report.fragment.startswith("semijoin")
+
+    def test_inequalities_leave_the_equality_fragments(self):
+        report = explain(select(R("E"), "1!=2"))
+        assert report.fragment == "TriAL"
+        assert "Theorem 3" in report.guarantee
+        assert not report.equality_only
+
+    def test_general_star_is_trial_star(self):
+        report = explain(star(R("E"), "1,3',3", "2=1' & 1!=2"))
+        assert report.fragment == "TriAL*"
+        assert report.recursive
+
+    def test_equality_only_star_gets_intermediate_bound(self):
+        report = explain(star(R("E"), "1,3',3", "2=1'"))
+        assert "TriAL*=" in report.fragment
+        assert "|T|²" in report.guarantee
+
+    def test_reach_star_counted(self):
+        report = explain(reach_forward())
+        assert report.n_reach_stars == 1
+
+
+class TestFeatures:
+    def test_universe_and_complement_flags(self):
+        report = explain(complement(R("E")))
+        assert report.uses_universe and report.uses_complement
+        assert "cubic" in report.summary()
+
+    def test_size_and_relations(self):
+        report = explain(join(R("E"), R("F"), "1,2,3"))
+        assert report.size == 3
+        assert report.relations == ("E", "F")
+
+    def test_summary_is_multiline(self):
+        text = explain(query_q()).summary()
+        assert "fragment   : TriAL*=" in text
+        assert "2 star(s)" in text
+
+    def test_plain_universe(self):
+        report = explain(Universe())
+        assert report.relations == ()
+        assert report.uses_universe

@@ -1,0 +1,155 @@
+"""Tests for the FO substrate: satisfies/answers agreement, variables,
+capture-avoiding renaming."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LogicError
+from repro.logic import (
+    And,
+    ConstT,
+    Eq,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    RelAtom,
+    Sim,
+    Var,
+    active_domain,
+    answers,
+    exists,
+    forall,
+    rename,
+    satisfies,
+)
+from repro.triplestore import Triplestore
+from tests.conftest import stores
+
+VARS = ("x", "y", "z")
+
+
+@st.composite
+def formulas(draw, depth: int = 3):
+    if depth <= 0:
+        kind = draw(st.sampled_from(("rel", "eq", "sim")))
+    else:
+        kind = draw(
+            st.sampled_from(("rel", "eq", "sim", "not", "and", "or", "exists", "forall"))
+        )
+    if kind == "rel":
+        terms = tuple(Var(draw(st.sampled_from(VARS))) for _ in range(3))
+        return RelAtom("E", terms)
+    if kind == "eq":
+        return Eq(Var(draw(st.sampled_from(VARS))), Var(draw(st.sampled_from(VARS))))
+    if kind == "sim":
+        return Sim(Var(draw(st.sampled_from(VARS))), Var(draw(st.sampled_from(VARS))))
+    if kind == "not":
+        return Not(draw(formulas(depth=depth - 1)))
+    if kind in ("and", "or"):
+        cls = And if kind == "and" else Or
+        return cls(draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1)))
+    cls = Exists if kind == "exists" else Forall
+    return cls(draw(st.sampled_from(VARS)), draw(formulas(depth=depth - 1)))
+
+
+@given(formulas(), stores(max_triples=8))
+@settings(max_examples=80, deadline=None)
+def test_answers_matches_satisfies(formula, store):
+    """The bottom-up evaluator agrees with the truth-recursive one."""
+    domain = sorted(active_domain(store), key=repr)
+    free = tuple(sorted(formula.free_vars()))
+    got = answers(formula, store, free)
+    want = frozenset(
+        combo
+        for combo in itertools.product(domain, repeat=len(free))
+        if satisfies(formula, store, dict(zip(free, combo)))
+    )
+    assert got == want
+
+
+class TestBasics:
+    STORE = Triplestore(
+        [("a", "p", "b"), ("b", "p", "a")], rho={"a": 1, "b": 1, "p": 2}
+    )
+
+    def test_atom(self):
+        assert satisfies(
+            RelAtom("E", (Var("x"), Var("y"), Var("z"))),
+            self.STORE,
+            {"x": "a", "y": "p", "z": "b"},
+        )
+
+    def test_constants_in_atoms(self):
+        phi = RelAtom("E", (ConstT("a"), Var("y"), ConstT("b")))
+        assert answers(phi, self.STORE, ("y",)) == {("p",)}
+
+    def test_sim_uses_rho(self):
+        assert satisfies(Sim(Var("x"), Var("y")), self.STORE, {"x": "a", "y": "b"})
+        assert not satisfies(Sim(Var("x"), Var("y")), self.STORE, {"x": "a", "y": "p"})
+
+    def test_exists_forall(self):
+        phi = exists("x", "y", "z", RelAtom("E", (Var("x"), Var("y"), Var("z"))))
+        assert satisfies(phi, self.STORE)
+        psi = forall("x", Eq(Var("x"), Var("x")))
+        assert satisfies(psi, self.STORE)
+
+    def test_sentence_answers(self):
+        phi = exists("x", "y", "z", RelAtom("E", (Var("x"), Var("y"), Var("z"))))
+        assert answers(phi, self.STORE) == {()}
+        assert answers(Not(phi), self.STORE) == frozenset()
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(LogicError):
+            satisfies(Eq(Var("x"), Var("y")), self.STORE, {"x": "a"})
+
+    def test_num_variables_counts_names(self):
+        phi = Exists("x", And(Eq(Var("x"), Var("y")), Exists("x", Eq(Var("x"), Var("x")))))
+        assert phi.num_variables() == 2
+
+    def test_repeated_vars_in_atom(self):
+        phi = RelAtom("E", (Var("x"), Var("y"), Var("x")))
+        t = Triplestore([("a", "p", "a"), ("a", "q", "b")])
+        assert answers(phi, t, ("x", "y")) == {("a", "p")}
+
+
+class TestRename:
+    POOL = ("v1", "v2", "v3", "v4", "v5", "v6")
+
+    def test_free_substitution(self):
+        phi = RelAtom("E", (Var("v1"), Var("v2"), Var("v3")))
+        out = rename(phi, {"v1": "v4"}, self.POOL)
+        assert out == RelAtom("E", (Var("v4"), Var("v2"), Var("v3")))
+
+    def test_bound_variables_untouched(self):
+        phi = Exists("v1", Eq(Var("v1"), Var("v2")))
+        out = rename(phi, {"v1": "v5"}, self.POOL)
+        assert out == phi
+
+    def test_capture_avoided(self):
+        # ∃v4 (v1 = v4); renaming v1→v4 must not capture.
+        phi = Exists("v4", Eq(Var("v1"), Var("v4")))
+        out = rename(phi, {"v1": "v4"}, self.POOL)
+        assert isinstance(out, Exists)
+        assert out.var != "v4"
+        assert Eq(Var("v4"), Var(out.var)) == out.formula
+
+    def test_swap_is_simultaneous(self):
+        phi = Eq(Var("v1"), Var("v2"))
+        out = rename(phi, {"v1": "v2", "v2": "v1"}, self.POOL)
+        assert out == Eq(Var("v2"), Var("v1"))
+
+    def test_semantics_preserved_under_rename(self):
+        store = Triplestore([("a", "p", "b"), ("b", "q", "a")])
+        phi = Exists("v4", And(
+            RelAtom("E", (Var("v1"), Var("v4"), Var("v2"))),
+            RelAtom("E", (Var("v2"), Var("v4"), Var("v1"))),
+        ))
+        renamed = rename(phi, {"v1": "v2", "v2": "v1"}, self.POOL)
+        for a, b in itertools.product(sorted(active_domain(store)), repeat=2):
+            assert satisfies(phi, store, {"v1": a, "v2": b}) == satisfies(
+                renamed, store, {"v2": a, "v1": b}
+            )

@@ -1,0 +1,100 @@
+"""Tests for the FO/TrCl text syntax."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic import (
+    And,
+    ConstT,
+    Eq,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    RelAtom,
+    Sim,
+    Trcl,
+    Var,
+    satisfies,
+)
+from repro.logic.parser import parse_formula
+from repro.triplestore import Triplestore
+
+
+class TestSyntax:
+    def test_atom(self):
+        assert parse_formula("E(x, y, z)") == RelAtom("E", (Var("x"), Var("y"), Var("z")))
+
+    def test_constants(self):
+        got = parse_formula("E('a', y, 'b')")
+        assert got == RelAtom("E", (ConstT("a"), Var("y"), ConstT("b")))
+
+    def test_equality_and_sim(self):
+        assert parse_formula("x = y") == Eq(Var("x"), Var("y"))
+        assert parse_formula("~(x, z)") == Sim(Var("x"), Var("z"))
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        got = parse_formula("x = y and y = z or x = z")
+        assert isinstance(got, Or)
+        assert isinstance(got.left, And)
+
+    def test_negation(self):
+        got = parse_formula("not x = y")
+        assert got == Not(Eq(Var("x"), Var("y")))
+
+    def test_quantifiers(self):
+        got = parse_formula("exists x, y (E(x, y, z))")
+        assert got == Exists("x", Exists("y", RelAtom("E", (Var("x"), Var("y"), Var("z")))))
+        assert isinstance(parse_formula("forall x (x = x)"), Forall)
+
+    def test_nested_quantifier_inside_conjunction(self):
+        got = parse_formula("x = x and exists y (E(x, y, x))")
+        assert isinstance(got, And) and isinstance(got.right, Exists)
+
+    def test_trcl(self):
+        got = parse_formula("[trcl x; y exists w (E(x, w, y))](u; v)")
+        assert isinstance(got, Trcl)
+        assert got.xs == ("x",) and got.ys == ("y",)
+        assert got.t1s == (Var("u"),) and got.t2s == (Var("v"),)
+
+    def test_trcl_pairs(self):
+        got = parse_formula("[trcl x1, x2; y1, y2 E(x1, x2, y1) and y2 = x2](a, b; c, d)")
+        assert isinstance(got, Trcl)
+        assert len(got.xs) == 2
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "E(x, y)", "exists (E(x,y,z))", "x =", "E(x, y, z) and", "[trcl x y](u; v)"],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_formula(text)
+
+
+class TestParsedSemantics:
+    STORE = Triplestore(
+        [("a", "p", "b"), ("b", "p", "a")], rho={"a": 1, "b": 1, "p": 2}
+    )
+
+    def test_round_to_evaluation(self):
+        phi = parse_formula("exists y (E(x, y, z) and ~(x, z))")
+        assert satisfies(phi, self.STORE, {"x": "a", "z": "b"})
+        assert not satisfies(phi, self.STORE, {"x": "a", "z": "p"})
+
+    def test_fo3_pipeline(self):
+        """Parsed FO³ text → TriAL → evaluation, against direct FO."""
+        from repro.core import evaluate
+        from repro.logic import active_domain
+        from repro.translations import fo3_to_trial
+
+        phi = parse_formula("exists y (E(x, y, z)) and not x = z")
+        expr = fo3_to_trial(phi)
+        domain = sorted(active_domain(self.STORE))
+        want = frozenset(
+            (a, b, c)
+            for a in domain
+            for b in domain
+            for c in domain
+            if satisfies(phi, self.STORE, {"x": a, "y": b, "z": c})
+        )
+        assert evaluate(expr, self.STORE) == want

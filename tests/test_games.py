@@ -1,0 +1,71 @@
+"""Pebble games: the proofs' indistinguishability claims, decided.
+
+The key paper claims this verifies computationally:
+
+* T₃ and T₄ (complete stores over 3 vs 4 objects) are FO³-equivalent —
+  so TriAL's 4-object query (which separates them) is outside FO³,
+  completing Theorem 4's "FO³ ⊊ TriAL" strictly;
+* the same pattern one level down (k = 2).
+"""
+
+import pytest
+
+from repro.core import distinct_objects_at_least, evaluate
+from repro.errors import LogicError
+from repro.logic.games import duplicator_wins, fo_k_equivalent
+from repro.rdf.datasets import clique_store
+from repro.triplestore import Triplestore
+
+
+class TestBasics:
+    def test_identical_structures(self):
+        t = Triplestore([("a", "p", "b")])
+        assert duplicator_wins(t, t, 2)
+
+    def test_distinguishable_singletons(self):
+        a = Triplestore([("a", "a", "a")])
+        b = Triplestore([("a", "a", "b")])
+        # E(x,x,x) is a 1-variable sentence separating them.
+        assert not duplicator_wins(a, b, 1)
+
+    def test_data_values_matter(self):
+        a = Triplestore([("a", "p", "b")], rho={"a": 1, "b": 1})
+        b = Triplestore([("a", "p", "b")], rho={"a": 1, "b": 2})
+        assert not duplicator_wins(a, b, 2)
+        # With one pebble, ∼ needs two placed pebbles... but reusing the
+        # single pebble still compares ρ(x) with itself only — the
+        # structures agree on all 1-variable sentences.
+        assert duplicator_wins(a, b, 1)
+
+    def test_k_validation(self):
+        t = Triplestore([("a", "p", "b")])
+        with pytest.raises(LogicError):
+            duplicator_wins(t, t, 0)
+
+    def test_size_guard(self):
+        big = clique_store(8)
+        with pytest.raises(LogicError):
+            duplicator_wins(big, big, 4, max_positions=1000)
+
+
+class TestPaperClaims:
+    def test_t3_fo3_equivalent_t4(self):
+        """Theorem 4's strictness: the duplicator wins the 3-pebble game
+        on T₃/T₄ — no FO³ sentence separates them."""
+        assert fo_k_equivalent(clique_store(3), clique_store(4), 3)
+
+    def test_t2_fo2_equivalent_t3(self):
+        assert fo_k_equivalent(clique_store(2), clique_store(3), 2)
+
+    def test_spoiler_wins_with_enough_pebbles(self):
+        """With 4 pebbles the spoiler pins 4 distinct objects — T₃ ≠ T₄."""
+        assert not fo_k_equivalent(clique_store(3), clique_store(4), 4)
+
+    def test_trial_separates_what_fo3_cannot(self):
+        """The full Theorem 4 picture in one test: the game says FO³
+        cannot separate T₃/T₄, while the TriAL query does."""
+        t3, t4 = clique_store(3), clique_store(4)
+        assert fo_k_equivalent(t3, t4, 3)
+        expr = distinct_objects_at_least(4)
+        assert evaluate(expr, t3) == frozenset()
+        assert evaluate(expr, t4) != frozenset()

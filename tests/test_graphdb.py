@@ -1,0 +1,168 @@
+"""Tests for the graph database model, RPQs, NREs and GXPath."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphdb import (
+    Axis,
+    Concat,
+    DataNodeTest,
+    DataPathTest,
+    Eps,
+    GraphDB,
+    HasPath,
+    NodeNot,
+    PathComplement,
+    PathUnion,
+    StarPath,
+    Test,
+    Top,
+    evaluate_gxpath,
+    evaluate_gxpath_nodes,
+    evaluate_nre,
+    evaluate_rpq,
+    evaluate_rpq_by_enumeration,
+    parse_nre,
+    uses_data,
+)
+from hypothesis import given, settings
+from repro.workloads.generators import random_graph
+
+import hypothesis.strategies as st
+
+
+@pytest.fixture()
+def g() -> GraphDB:
+    return GraphDB(
+        ["u", "v", "w", "x"],
+        [
+            ("u", "a", "v"),
+            ("v", "a", "w"),
+            ("v", "b", "x"),
+            ("x", "b", "u"),
+        ],
+        rho={"u": 1, "v": 2, "w": 1, "x": 2},
+    )
+
+
+class TestModel:
+    def test_successors_predecessors(self, g):
+        assert g.successors("u", "a") == {"v"}
+        assert g.predecessors("x", "b") == {"v"}
+        assert g.successors("u", "b") == frozenset()
+
+    def test_sigma_inferred(self, g):
+        assert g.sigma == {"a", "b"}
+
+    def test_explicit_sigma_validated(self):
+        with pytest.raises(GraphError):
+            GraphDB(["u"], [("u", "a", "u")], sigma=["b"])
+
+    def test_edges_must_use_known_nodes(self):
+        with pytest.raises(GraphError):
+            GraphDB(["u"], [("u", "a", "zz")])
+
+    def test_to_triplestore(self, g):
+        t = g.to_triplestore()
+        assert ("u", "a", "v") in t.relation("E")
+        assert t.objects == g.nodes | g.sigma
+        assert t.rho("u") == 1 and t.rho("a") is None
+
+    def test_to_triplestore_rejects_overlap(self):
+        g = GraphDB(["a", "u"], [("u", "a", "a")])
+        with pytest.raises(GraphError):
+            g.to_triplestore()
+
+
+class TestRPQ:
+    def test_basic_path(self, g):
+        assert ("u", "w") in evaluate_rpq(g, "a.a")
+        assert ("u", "x") in evaluate_rpq(g, "a.b")
+
+    def test_star(self, g):
+        got = evaluate_rpq(g, "(a+b)*")
+        assert ("u", "u") in got  # empty path
+        assert ("u", "w") in got
+
+    def test_inverse(self, g):
+        assert ("v", "u") in evaluate_rpq(g, "a-")
+
+    @given(st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_product_matches_enumeration(self, seed):
+        graph = random_graph(5, 7, seed=seed)
+        for regex in ("a.b", "a*", "(a.b)+b-", "a.(a+b)*"):
+            fast = evaluate_rpq(graph, regex)
+            slow = evaluate_rpq_by_enumeration(graph, regex)
+            assert fast == slow, regex
+
+
+class TestNRE:
+    def test_nesting_filters_midpoints(self, g):
+        # a-step into a node that has an outgoing b-edge, then a again.
+        nre = parse_nre("a.[b].a")
+        got = evaluate_nre(g, nre)
+        assert ("u", "w") in got  # u -a-> v (v has b out) -a-> w
+
+    def test_nesting_blocks(self, g):
+        nre = parse_nre("a.[a.a].a")  # v has no a.a path
+        assert evaluate_nre(g, nre) == frozenset()
+
+    def test_star_includes_diagonal(self, g):
+        got = evaluate_nre(g, parse_nre("a*"))
+        assert all((v, v) in got for v in g.nodes)
+
+    def test_inverse(self, g):
+        assert ("w", "v") in evaluate_nre(g, parse_nre("a-"))
+
+
+class TestGXPath:
+    def test_eps_and_top(self, g):
+        assert evaluate_gxpath(g, Eps()) == {(v, v) for v in g.nodes}
+        assert evaluate_gxpath_nodes(g, Top()) == g.nodes
+
+    def test_complement(self, g):
+        got = evaluate_gxpath(g, PathComplement(Axis("a")))
+        assert ("u", "v") not in got
+        assert ("u", "w") in got
+        assert len(got) == 16 - 2
+
+    def test_double_complement_is_identity(self, g):
+        alpha = Concat(Axis("a"), Axis("b"))
+        assert evaluate_gxpath(g, PathComplement(PathComplement(alpha))) == \
+            evaluate_gxpath(g, alpha)
+
+    def test_star_reflexive_transitive(self, g):
+        got = evaluate_gxpath(g, StarPath(Axis("a")))
+        assert ("u", "u") in got and ("u", "w") in got
+
+    def test_node_test_in_path(self, g):
+        alpha = Concat(Axis("a"), Concat(Test(HasPath(Axis("b"))), Axis("a")))
+        assert ("u", "w") in evaluate_gxpath(g, alpha)
+
+    def test_node_negation(self, g):
+        no_b_out = evaluate_gxpath_nodes(g, NodeNot(HasPath(Axis("b"))))
+        assert no_b_out == {"u", "w"}
+
+    def test_data_path_test(self, g):
+        # rho: u=1, v=2, w=1, x=2
+        eq = evaluate_gxpath(g, DataPathTest(Concat(Axis("a"), Axis("a")), True))
+        assert eq == {("u", "w")}
+        neq = evaluate_gxpath(g, DataPathTest(Axis("a"), False))
+        assert ("u", "v") in neq and ("v", "w") in neq
+
+    def test_data_node_test(self, g):
+        # ⟨a = b⟩: nodes with an a-target and b-target of equal value.
+        nodes = evaluate_gxpath_nodes(g, DataNodeTest(Axis("a"), Axis("b"), True))
+        # v: a->w (1), b->x (2): no.  u: no b-edge.  x: b->u only.
+        assert nodes == frozenset()
+        nodes_neq = evaluate_gxpath_nodes(g, DataNodeTest(Axis("a"), Axis("b"), False))
+        assert nodes_neq == {"v"}
+
+    def test_union(self, g):
+        got = evaluate_gxpath(g, PathUnion(Axis("a"), Axis("b")))
+        assert {("u", "v"), ("v", "x")} <= got
+
+    def test_uses_data(self, g):
+        assert uses_data(DataPathTest(Axis("a"), True))
+        assert not uses_data(StarPath(Axis("a")))

@@ -1,0 +1,122 @@
+"""Tests for the GXPath text syntax."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.graphdb import GraphDB, evaluate_gxpath, evaluate_gxpath_nodes
+from repro.graphdb.gxpath import (
+    Axis,
+    Concat,
+    DataNodeTest,
+    DataPathTest,
+    Eps,
+    HasPath,
+    NodeAnd,
+    NodeNot,
+    NodeOr,
+    PathComplement,
+    PathUnion,
+    StarPath,
+    Test,
+    Top,
+)
+from repro.graphdb.gxpath_parser import parse_gxpath, parse_gxpath_node
+
+
+class TestPathSyntax:
+    def test_axis(self):
+        assert parse_gxpath("a") == Axis("a", True)
+        assert parse_gxpath("a-") == Axis("a", False)
+        assert parse_gxpath("'part of'") == Axis("part of", True)
+
+    def test_eps(self):
+        assert parse_gxpath("_") == Eps()
+
+    def test_concat_union_precedence(self):
+        # '/' binds tighter than '|'.
+        assert parse_gxpath("a/b | c") == PathUnion(
+            Concat(Axis("a", True), Axis("b", True)), Axis("c", True)
+        )
+
+    def test_star_and_data_tests(self):
+        assert parse_gxpath("a*") == StarPath(Axis("a", True))
+        assert parse_gxpath("a{=}") == DataPathTest(Axis("a", True), True)
+        assert parse_gxpath("(a/b){!=}") == DataPathTest(
+            Concat(Axis("a", True), Axis("b", True)), False
+        )
+
+    def test_complement(self):
+        assert parse_gxpath("!a") == PathComplement(Axis("a", True))
+        assert parse_gxpath("!(a|b)*") == StarPath(
+            PathComplement(PathUnion(Axis("a", True), Axis("b", True)))
+        )
+
+    def test_node_test_in_path(self):
+        assert parse_gxpath("a/[<b>]/c") == Concat(
+            Concat(Axis("a", True), Test(HasPath(Axis("b", True)))), Axis("c", True)
+        )
+
+    @pytest.mark.parametrize("text", ["", "a//b", "(a", "a/[<b>", "a b", "|a"])
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_gxpath(text)
+
+
+class TestNodeSyntax:
+    def test_top_and_boolean(self):
+        assert parse_gxpath_node("top") == Top()
+        assert parse_gxpath_node("not top") == NodeNot(Top())
+        assert parse_gxpath_node("<a> and <b> or top") == NodeOr(
+            NodeAnd(HasPath(Axis("a", True)), HasPath(Axis("b", True))), Top()
+        )
+
+    def test_haspath(self):
+        assert parse_gxpath_node("<a/b*>") == HasPath(
+            Concat(Axis("a", True), StarPath(Axis("b", True)))
+        )
+
+    def test_data_node_tests(self):
+        assert parse_gxpath_node("<a = b>") == DataNodeTest(
+            Axis("a", True), Axis("b", True), True
+        )
+        assert parse_gxpath_node("<a != b->") == DataNodeTest(
+            Axis("a", True), Axis("b", False), False
+        )
+
+    def test_parenthesised(self):
+        assert parse_gxpath_node("(not (top))") == NodeNot(Top())
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            parse_gxpath_node("<a> banana")
+
+
+class TestParsedEvaluation:
+    G = GraphDB(
+        ["u", "v", "w"],
+        [("u", "a", "v"), ("v", "b", "w"), ("w", "a", "u")],
+        rho={"u": 1, "v": 1, "w": 2},
+    )
+
+    def test_path_evaluation(self):
+        got = evaluate_gxpath(self.G, parse_gxpath("a/b"))
+        assert got == {("u", "w")}
+
+    def test_data_test_evaluation(self):
+        got = evaluate_gxpath(self.G, parse_gxpath("a{=}"))
+        assert got == {("u", "v")}
+
+    def test_node_evaluation(self):
+        # u and w have outgoing a-edges and no b-edge; v has only b.
+        got = evaluate_gxpath_nodes(self.G, parse_gxpath_node("<a> and not <b>"))
+        assert got == {"u", "w"}
+
+    def test_parsed_translation_round(self):
+        """Parsed GXPath goes through the TriAL* translation unchanged."""
+        from repro.core import evaluate, project13
+        from repro.translations import gxpath_to_trial
+
+        expr = parse_gxpath("!(a/b) | a*")
+        want = evaluate_gxpath(self.G, expr)
+        got = project13(evaluate(gxpath_to_trial(expr), self.G.to_triplestore()))
+        assert want == got

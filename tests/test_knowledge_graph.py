@@ -1,0 +1,76 @@
+"""The knowledge-graph workload: TriAL queries vs the BFS reference."""
+
+import pytest
+
+from repro.core import Const, Cond, Pos, R, evaluate, join, select, star
+from repro.workloads.knowledge_graph import (
+    PART_OF,
+    SUBTYPE_OF,
+    knowledge_graph,
+    reference_affiliated_via,
+)
+
+
+@pytest.fixture(scope="module")
+def kg():
+    return knowledge_graph(
+        n_people=25, n_orgs=10, n_places=6, n_affiliations=60, seed=3
+    )
+
+
+def affiliated_via_trial(affiliation_type: str):
+    """(person, ?, org-or-ancestor) whose type reaches the given one.
+
+    Built from the same reach patterns as query Q:
+
+    1. type_up: close affiliation edges upward through subtype_of*;
+    2. keep those whose middle reached ``affiliation_type``;
+    3. close the org endpoint upward through part_of*.
+    """
+    e = R("E")
+    # (person, t', org) for every t →subtype_of* t' starting from the
+    # affiliation's type: join affiliations with the subtype closure.
+    subtype_edges = select(e, (Cond(Pos(1), Const(SUBTYPE_OF)),))
+    subtype_closure = star(subtype_edges, "1,2,3'", "3=1'")
+    # t reaches t' (including t itself via the affiliation edge).
+    lifted = join(e, subtype_closure, "1,3',3", "2=1'")
+    lifted_or_direct = lifted | e
+    typed = select(lifted_or_direct, (Cond(Pos(1), Const(affiliation_type)),))
+    # Organisation closure: org →part_of* ancestor.
+    part_edges = select(e, (Cond(Pos(1), Const(PART_OF)),))
+    part_closure = star(part_edges, "1,2,3'", "3=1'")
+    up = join(typed, part_closure, "1,2,3'", "3=1'")
+    return typed | up
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        assert knowledge_graph(5, 3, 2, 8, seed=1) == knowledge_graph(5, 3, 2, 8, seed=1)
+
+    def test_middles_are_subjects_too(self, kg):
+        """The RDF hallmark the intro stresses: affiliation types occur in
+        both predicate and subject positions."""
+        middles = {p for _, p, _ in kg.relation("E")}
+        subjects = {s for s, _, _ in kg.relation("E")}
+        assert middles & subjects
+
+    def test_ontology_present(self, kg):
+        assert ("employee", SUBTYPE_OF, "staff") in kg.relation("E")
+        assert ("staff", SUBTYPE_OF, "affiliated") in kg.relation("E")
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("atype", ["staff", "affiliated", "employee"])
+    def test_affiliation_query_matches_reference(self, kg, atype):
+        result = evaluate(affiliated_via_trial(atype), kg)
+        got_pairs = {
+            (s, o) for s, _, o in result if str(s).startswith("person")
+        }
+        want = reference_affiliated_via(kg, atype)
+        assert got_pairs == want
+
+    def test_staff_subset_of_affiliated(self, kg):
+        staff = reference_affiliated_via(kg, "staff")
+        everyone = reference_affiliated_via(kg, "affiliated")
+        assert staff <= everyone
+        assert reference_affiliated_via(kg, "employee") <= staff

@@ -1,0 +1,130 @@
+"""The conjunctive nSPARQL layer and its Theorem 1 invariance."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphdb import parse_nre
+from repro.rdf import RDFGraph, figure1, proposition1_d1, proposition1_d2
+from repro.rdf.nsparql_query import Filter, NSparqlQuery, Pattern, QConst, QVar
+
+FIG1 = RDFGraph(figure1().relation("E"))
+
+
+class TestEvaluation:
+    def test_single_pattern(self):
+        q = NSparqlQuery(
+            [Pattern(QVar("x"), parse_nre("next"), QVar("y"))],
+            select=("x", "y"),
+        )
+        got = q.evaluate(FIG1)
+        assert ("Edinburgh", "London") in got
+
+    def test_constant_subject(self):
+        q = NSparqlQuery(
+            [Pattern(QConst("Edinburgh"), parse_nre("next*"), QVar("y"))],
+            select=("y",),
+        )
+        got = q.evaluate(FIG1)
+        assert ("Brussels",) in got
+
+    def test_join_on_shared_variable(self):
+        # x --edge--> op, op --next--> company.
+        q = NSparqlQuery(
+            [
+                Pattern(QVar("x"), parse_nre("edge"), QVar("op")),
+                Pattern(QVar("op"), parse_nre("next"), QVar("c")),
+            ],
+            select=("x", "c"),
+        )
+        got = q.evaluate(FIG1)
+        assert ("Edinburgh", "EastCoast") in got
+
+    def test_filter(self):
+        q = NSparqlQuery(
+            [Pattern(QVar("x"), parse_nre("next*"), QVar("y"))],
+            select=("x", "y"),
+            filters=[Filter("x", "!=", "y")],
+        )
+        got = q.evaluate(FIG1)
+        assert all(x != y for x, y in got)
+
+    def test_nested_pattern(self):
+        q = NSparqlQuery(
+            [Pattern(QVar("x"), parse_nre("next.[edge.next]"), QVar("y"))],
+            select=("x", "y"),
+        )
+        assert q.evaluate(FIG1)
+
+    def test_unsatisfiable(self):
+        q = NSparqlQuery(
+            [
+                Pattern(QVar("x"), parse_nre("next"), QVar("y")),
+                Pattern(QVar("y"), parse_nre("next"), QVar("x")),
+            ],
+            select=("x",),
+        )
+        assert q.evaluate(FIG1) == frozenset()
+
+
+class TestValidation:
+    def test_empty_patterns(self):
+        with pytest.raises(GraphError):
+            NSparqlQuery([], select=())
+
+    def test_unknown_select_var(self):
+        with pytest.raises(GraphError):
+            NSparqlQuery(
+                [Pattern(QVar("x"), parse_nre("next"), QVar("y"))],
+                select=("zz",),
+            )
+
+    def test_filter_vars_checked(self):
+        with pytest.raises(GraphError):
+            NSparqlQuery(
+                [Pattern(QVar("x"), parse_nre("next"), QVar("y"))],
+                select=("x",),
+                filters=[Filter("x", "=", "w")],
+            )
+
+    def test_bad_filter_op(self):
+        with pytest.raises(GraphError):
+            Filter("x", "<", "y")
+
+
+class TestTheorem1Invariance:
+    """Whole nSPARQL *queries* — not just NREs — cannot tell D₁ from D₂."""
+
+    QUERIES = [
+        NSparqlQuery(
+            [Pattern(QVar("x"), parse_nre("next*"), QVar("y"))],
+            select=("x", "y"),
+        ),
+        NSparqlQuery(
+            [
+                Pattern(QVar("x"), parse_nre("edge"), QVar("op")),
+                Pattern(QVar("op"), parse_nre("next*"), QVar("c")),
+                Pattern(QVar("x"), parse_nre("next"), QVar("y")),
+            ],
+            select=("x", "c", "y"),
+        ),
+        # An attempted encoding of query Q: travel steps whose operators
+        # reach a common company — the pattern *looks* right but cannot
+        # chain same-company segments, and (crucially) answers the same
+        # on both documents.
+        NSparqlQuery(
+            [
+                Pattern(QVar("x"), parse_nre("next"), QVar("y")),
+                Pattern(QVar("x"), parse_nre("edge.next*"), QVar("c")),
+                Pattern(QVar("y"), parse_nre("next"), QVar("z")),
+                Pattern(QVar("y"), parse_nre("edge.next*"), QVar("c")),
+            ],
+            select=("x", "z"),
+            filters=[Filter("x", "!=", "z")],
+        ),
+    ]
+
+    def test_all_queries_agree_on_d1_d2(self):
+        d1 = RDFGraph(proposition1_d1().relation("E"))
+        d2 = RDFGraph(proposition1_d2().relation("E"))
+        for query in self.QUERIES:
+            assert query.evaluate(d1) == query.evaluate(d2)

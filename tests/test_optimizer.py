@@ -1,0 +1,105 @@
+"""The optimiser's rewrites preserve semantics and fragments."""
+
+from hypothesis import given, settings
+
+from repro.core import (
+    Diff,
+    HashJoinEngine,
+    Intersect,
+    R,
+    Union,
+    evaluate,
+    in_reach_ta_eq,
+    in_trial_eq,
+    is_equality_only,
+    join,
+    select,
+    star,
+)
+from repro.core.optimizer import is_empty_expr, merge_selects, optimize, push_conditions
+from tests.conftest import expressions, stores
+
+ENGINE = HashJoinEngine()
+
+
+class TestRules:
+    def test_merge_selects(self):
+        e = select(select(select(R("E"), "1=2"), "2=3"), "rho(1)=rho(3)")
+        merged = merge_selects(e)
+        assert merged.expr == R("E")
+        assert len(merged.conditions) == 3
+
+    def test_push_local_conditions(self):
+        e = join(R("E"), R("F"), "1,2,3'", "1=2 & 3=1' & 2'=3'")
+        pushed = push_conditions(e)
+        assert pushed.conditions == tuple(
+            c for c in e.conditions if c.positions()[0].index == 2
+        )
+        assert pushed.left.conditions  # 1=2 went left
+        assert pushed.right.conditions  # 2'=3' went right, shifted down
+
+    def test_select_into_join(self):
+        e = select(join(R("E"), R("F"), "1,2,3'"), "1=3")
+        out = optimize(e)
+        # 1=3 over output (1,2,3') == join condition 1=3'.
+        from repro.core.conditions import parse_conditions
+
+        assert out.conditions == parse_conditions("1=3'")
+
+    def test_union_idempotent(self):
+        assert optimize(Union(R("E"), R("E"))) == R("E")
+
+    def test_diff_self_is_empty(self):
+        out = optimize(Diff(R("E"), R("E")))
+        assert is_empty_expr(out)
+
+    def test_empty_propagates_through_join(self):
+        empty = Diff(R("E"), R("E"))
+        out = optimize(join(empty, R("E"), "1,2,3"))
+        assert is_empty_expr(out)
+
+    def test_statically_false_condition(self):
+        out = optimize(join(R("E"), R("E"), "1,2,3", "'a'='b'"))
+        assert is_empty_expr(out)
+
+    def test_double_star_collapsed(self):
+        inner = star(R("E"), "1,2,3'", "3=1'")
+        outer = star(inner, "1,2,3'", "3=1'")
+        assert optimize(outer) == optimize(inner)
+
+    def test_different_stars_not_collapsed(self):
+        inner = star(R("E"), "1,2,3'", "3=1'")
+        outer = star(inner, "1,2,3'", "3=1' & 2=2'")
+        assert optimize(outer).expr == inner
+
+    def test_empty_select_dropped(self):
+        assert optimize(select(R("E"), "")) == R("E")
+
+    def test_intersect_with_empty(self):
+        empty = Diff(R("E"), R("E"))
+        assert is_empty_expr(optimize(Intersect(R("E"), empty)))
+
+
+class TestSemanticsPreserved:
+    @given(expressions(max_depth=3, allow_star=True), stores())
+    @settings(max_examples=100, deadline=None)
+    def test_optimize_preserves_semantics(self, expr, store):
+        optimized = optimize(expr)
+        assert evaluate(optimized, store, ENGINE) == evaluate(expr, store, ENGINE)
+
+    @given(expressions(max_depth=3, allow_star=True))
+    @settings(max_examples=60, deadline=None)
+    def test_optimize_preserves_fragments(self, expr):
+        optimized = optimize(expr)
+        if is_equality_only(expr):
+            assert is_equality_only(optimized)
+        if in_trial_eq(expr):
+            assert in_trial_eq(optimized)
+        if in_reach_ta_eq(expr):
+            assert in_reach_ta_eq(optimized)
+
+    @given(expressions(max_depth=3, allow_star=True))
+    @settings(max_examples=40, deadline=None)
+    def test_optimize_is_idempotent(self, expr):
+        once = optimize(expr)
+        assert optimize(once) == once

@@ -1,0 +1,80 @@
+"""The literal matrix Procedures 1–4 against the set-based engines."""
+
+from hypothesis import given, settings
+
+from repro.core import HashJoinEngine, R, join, star
+from repro.core.engines import procedures
+from repro.core.engines.reach import bfs_reachable, reach_star_any, reach_star_same_label
+from repro.triplestore import MatrixStore, Triplestore
+from tests.conftest import conditions, out_specs, stores
+
+import hypothesis.strategies as st
+
+HASH = HashJoinEngine()
+
+
+@given(stores(max_triples=8), out_specs, conditions())
+@settings(max_examples=60, deadline=None)
+def test_procedure1_join_matches_hash_join(store, out, conds):
+    ms = MatrixStore(store)
+    r = ms.matrix("E")
+    got = ms.triples_of(procedures.join_matrices(r, r, out, conds, ms))
+    expr = join(R("E"), R("E"), out, conds)
+    assert got == HASH.evaluate(expr, store)
+
+
+@given(stores(max_triples=6), st.sampled_from(["3=1'", "3=1' & 2=2'", "2=1'"]))
+@settings(max_examples=30, deadline=None)
+def test_procedure2_star_matches_fixpoint(store, conds_text):
+    from repro.core.conditions import parse_conditions
+
+    conds = parse_conditions(conds_text)
+    ms = MatrixStore(store)
+    got = ms.triples_of(
+        procedures.star_matrices(ms.matrix("E"), (0, 1, 5), conds, ms)
+    )
+    expr = star(R("E"), "1,2,3'", conds_text)
+    assert got == HASH.evaluate(expr, store)
+
+
+@given(stores(max_triples=10))
+@settings(max_examples=40, deadline=None)
+def test_procedure3_matches_set_based(store):
+    ms = MatrixStore(store)
+    got = ms.triples_of(procedures.reach_star_any(ms.matrix("E"), ms))
+    assert got == frozenset(reach_star_any(store.relation("E")))
+
+
+@given(stores(max_triples=10))
+@settings(max_examples=40, deadline=None)
+def test_procedure4_matches_set_based(store):
+    ms = MatrixStore(store)
+    got = ms.triples_of(procedures.reach_star_same_label(ms.matrix("E"), ms))
+    assert got == frozenset(reach_star_same_label(store.relation("E")))
+
+
+class TestBfs:
+    def test_reachable_includes_source(self):
+        assert bfs_reachable({}, "x") == {"x"}
+
+    def test_reachable_follows_chains(self):
+        succ = {"a": {"b"}, "b": {"c"}}
+        assert bfs_reachable(succ, "a") == {"a", "b", "c"}
+
+    def test_cycle(self):
+        succ = {"a": {"b"}, "b": {"a"}}
+        assert bfs_reachable(succ, "a") == {"a", "b"}
+
+
+class TestReachStarUnits:
+    def test_any_path(self):
+        base = {("a", "p", "b"), ("b", "q", "c")}
+        got = reach_star_any(base)
+        assert ("a", "p", "c") in got
+        assert ("a", "q", "c") not in got  # middle comes from the base triple
+
+    def test_same_label_blocks_label_change(self):
+        base = {("a", "l", "b"), ("b", "m", "c")}
+        got = reach_star_same_label(base)
+        assert ("a", "l", "c") not in got
+        assert got == base | set()

@@ -1,0 +1,61 @@
+"""E7–E9 (shape checks): the fragment algorithms beat the naive ones and
+scaling grows at most polynomially as the theorems predict.
+
+Timing assertions in unit tests are kept qualitative (A faster than B at
+a size where the asymptotics dominate) — the precise slope measurements
+live in benchmarks/ and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench import Measurement, fit_loglog_slope, sweep, time_callable
+from repro.core import FastEngine, HashJoinEngine, NaiveEngine, R, join, star
+from repro.workloads import chain_store, random_store
+
+REACH = star(R("E"), "1,2,3'", "3=1'")
+JOIN = join(R("E"), R("E"), "1,2,3'", "3=1'")
+
+
+@pytest.mark.slow
+class TestRelativePerformance:
+    def test_fast_engine_beats_naive_on_reach(self):
+        store = chain_store(120)
+        t_fast = time_callable(lambda: FastEngine().evaluate(REACH, store), repeats=1)
+        t_naive = time_callable(lambda: NaiveEngine().evaluate(REACH, store), repeats=1)
+        assert t_fast < t_naive
+
+    def test_hash_join_beats_nested_loop(self):
+        store = random_store(60, 1500, seed=1)
+        t_hash = time_callable(lambda: HashJoinEngine().evaluate(JOIN, store), repeats=1)
+        t_naive = time_callable(lambda: NaiveEngine().evaluate(JOIN, store), repeats=1)
+        assert t_hash < t_naive
+
+
+@pytest.mark.slow
+class TestScalingShapes:
+    def test_naive_join_is_superlinear(self):
+        """Theorem 3: nested-loop joins grow ~quadratically in |T|."""
+        points = sweep(
+            lambda n: random_store(n, n * 12, seed=n),
+            lambda s: NaiveEngine().evaluate(JOIN, s),
+            sizes=(20, 40, 80, 160),
+            repeats=1,
+        )
+        slope = fit_loglog_slope(points)
+        assert slope > 1.3, points
+
+    def test_fast_reach_is_subquadratic(self):
+        """Proposition 5: the BFS star stays near O(|O|·|T|).
+
+        On a chain the *output itself* is Θ(n²), so slopes land near 2;
+        the point of the assertion is staying well under the naive
+        fixpoint's ~3 (checked by the benchmark suite with more data).
+        """
+        points = sweep(
+            chain_store,
+            lambda s: FastEngine().evaluate(REACH, s),
+            sizes=(40, 80, 160, 320),
+            repeats=1,
+        )
+        slope = fit_loglog_slope(points)
+        assert slope < 2.7, points

@@ -1,0 +1,58 @@
+"""The semijoin fragment (Section 7 future work)."""
+
+from hypothesis import given, settings
+
+from repro.core import R, evaluate, join, reach_forward, select
+from repro.core.semijoin import antijoin, in_semijoin_algebra, semijoin
+from repro.triplestore import Triplestore
+from tests.conftest import stores
+
+
+class TestSemantics:
+    STORE = Triplestore(
+        {
+            "E": [("a", "p", "b"), ("b", "q", "c"), ("c", "r", "d")],
+            "F": [("b", "x", "y")],
+        }
+    )
+
+    def test_semijoin_keeps_matching_left_triples(self):
+        # E-triples whose object is an F-subject.
+        got = evaluate(semijoin(R("E"), R("F"), "3=1'"), self.STORE)
+        assert got == {("a", "p", "b")}
+
+    def test_semijoin_never_invents_triples(self):
+        got = evaluate(semijoin(R("E"), R("F"), "3=1'"), self.STORE)
+        assert got <= self.STORE.relation("E")
+
+    def test_antijoin_is_the_complement_within_left(self):
+        semi = evaluate(semijoin(R("E"), R("F"), "3=1'"), self.STORE)
+        anti = evaluate(antijoin(R("E"), R("F"), "3=1'"), self.STORE)
+        assert semi | anti == self.STORE.relation("E")
+        assert semi & anti == frozenset()
+
+    def test_unconditional_semijoin_is_nonempty_gate(self):
+        got = evaluate(semijoin(R("E"), R("F")), self.STORE)
+        assert got == self.STORE.relation("E")  # F nonempty
+        empty_store = self.STORE.with_relation("F", [])
+        assert evaluate(semijoin(R("E"), R("F")), empty_store) == frozenset()
+
+
+class TestFragment:
+    def test_semijoins_are_in_fragment(self):
+        e = semijoin(select(R("E"), "2='p'"), R("F"), "3=1'")
+        assert in_semijoin_algebra(e)
+        assert in_semijoin_algebra(antijoin(R("E"), R("F"), "1=1'"))
+
+    def test_full_joins_are_not(self):
+        assert not in_semijoin_algebra(join(R("E"), R("E"), "1,2,3'", "3=1'"))
+
+    def test_reachability_is_not(self):
+        """The paper: key properties (reachability) need more than semijoins."""
+        assert not in_semijoin_algebra(reach_forward())
+
+    @given(stores(max_triples=8))
+    @settings(max_examples=30, deadline=None)
+    def test_semijoin_result_is_subset_of_left(self, store):
+        e = semijoin(R("E"), R("E"), "3=1' & rho(2)=rho(2')")
+        assert evaluate(e, store) <= store.relation("E")

@@ -1,0 +1,191 @@
+"""E11/E14/E15: the expressiveness separations, run constructively.
+
+Each separation theorem in the paper comes with finite witnesses; we
+build both sides and check the claimed behaviour:
+
+* Theorem 4 (TriAL ⊄ FO⁵): the 6-distinct-objects query distinguishes
+  T₅ from T₆ (complete stores over 5 vs 6 objects);
+* Theorem 4 (FO³ ⊊ TriAL): the 4-objects query distinguishes T₃/T₄;
+* Theorem 4 (FO⁴ ⊄ TriAL): the FO⁴ sentence ϕ distinguishes the proof's
+  structures A and B — while e.g. all ≤3-variable pebble-style queries
+  we sample agree on them;
+* Theorem 8 (TriAL ⊄ CNRE): the "no a-edge" query is non-monotone,
+  CNREs are monotone — verified on the proof's G ⊂ G′;
+* Proposition 6: register automata express the ≥n-distinct-values
+  family eₙ (beyond TriAL*'s L⁶∞ω bound), but cannot express the
+  non-monotone "no a-edge" query.
+"""
+
+import pytest
+
+from repro.automata.memory import distinct_values_expr, evaluate_rem
+from repro.core import (
+    R,
+    evaluate,
+    distinct_objects_at_least,
+    project13,
+    select,
+)
+from repro.core.builder import complement, join
+from repro.graphdb import GraphDB, cnre
+from repro.logic import And, Eq, Exists, Not, RelAtom, Var, answers, exists, and_all
+from repro.rdf.datasets import clique_store, theorem4_structures
+from repro.workloads.generators import clique_graph
+
+
+class TestDistinctObjectQueries:
+    """U ✶_θ U with pairwise inequalities: nonempty iff ≥ k objects."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6])
+    def test_threshold(self, k):
+        expr = distinct_objects_at_least(k)
+        below = clique_store(k - 1)
+        at = clique_store(k)
+        assert evaluate(expr, below) == frozenset()
+        assert evaluate(expr, at) != frozenset()
+
+    def test_t3_t4_separation(self):
+        """FO³ ⊊ TriAL: the 4-objects query separates T₃ from T₄."""
+        expr = distinct_objects_at_least(4)
+        assert evaluate(expr, clique_store(3)) == frozenset()
+        assert evaluate(expr, clique_store(4)) != frozenset()
+
+    def test_t5_t6_separation(self):
+        """TriAL ⊄ FO⁵: the 6-objects query separates T₅ from T₆."""
+        expr = distinct_objects_at_least(6)
+        assert evaluate(expr, clique_store(5)) == frozenset()
+        assert evaluate(expr, clique_store(6)) != frozenset()
+
+    def test_out_of_range(self):
+        from repro.errors import AlgebraError
+
+        with pytest.raises(AlgebraError):
+            distinct_objects_at_least(7)
+
+
+def _psi(x: str, y: str, z: str):
+    """The proof's ψ(x,y,z): a shared middle witnessing all symmetric
+    edges among {x, y, z} (appendix version; edges in A/B are symmetric
+    so the missing E(z,w,y) conjunct is implied)."""
+    w = "w2"
+    return Exists(
+        w,
+        and_all(
+            [
+                RelAtom("E", (Var(x), Var(w), Var(y))),
+                RelAtom("E", (Var(y), Var(w), Var(x))),
+                RelAtom("E", (Var(y), Var(w), Var(z))),
+                RelAtom("E", (Var(x), Var(w), Var(z))),
+                RelAtom("E", (Var(z), Var(w), Var(x))),
+                Not(Eq(Var(x), Var(z))),
+                Not(Eq(Var(x), Var(y))),
+                Not(Eq(Var(y), Var(z))),
+            ]
+        ),
+    )
+
+
+def _phi_fo4():
+    """The FO⁴ sentence ϕ from the proof of Theorem 4 (closed form)."""
+    distinct = [
+        Not(Eq(Var(a), Var(b)))
+        for a, b in (("x", "y"), ("x", "z"), ("x", "w"), ("y", "z"), ("y", "w"), ("z", "w"))
+    ]
+    body = and_all(
+        [
+            _psi("x", "y", "w"),
+            _psi("x", "w", "z"),
+            _psi("w", "y", "z"),
+            _psi("x", "y", "z"),
+        ]
+        + distinct
+    )
+    return exists("x", "y", "z", "w", body)
+
+
+class TestTheorem4Structures:
+    def test_phi_separates_a_from_b(self):
+        """The FO⁴ sentence holds in A but not in B."""
+        a, b = theorem4_structures()
+        phi = _phi_fo4()
+        # ϕ uses x,y,z,w plus ψ's witness w2 — 5 names, but 4 in the
+        # paper's counting (w2 reuses w there; our AST needs the extra
+        # name because ψ(x,w,z) would capture w).
+        assert answers(phi, a) == {()}
+        assert answers(phi, b) == frozenset()
+
+    def test_structures_locally_similar(self):
+        """Sanity: simple 3-variable queries do NOT separate A and B.
+
+        (The full claim — no TriAL query separates them — is the paper's
+        game argument; here we check a representative sample of
+        3-variable patterns agree, so the separation above is doing
+        real work.)
+        """
+        a, b = theorem4_structures()
+        probes = [
+            exists("x", "y", "z", RelAtom("E", (Var("x"), Var("y"), Var("z")))),
+            exists(
+                "x", "y", "z",
+                And(
+                    RelAtom("E", (Var("x"), Var("y"), Var("z"))),
+                    RelAtom("E", (Var("z"), Var("y"), Var("x"))),
+                ),
+            ),
+            exists("x", "y", _psi("x", "y", "y")),
+        ]
+        for probe in probes:
+            assert (answers(probe, a) == {()}) == (answers(probe, b) == {()})
+
+
+class TestTheorem8Monotonicity:
+    """CNREs are monotone; the TriAL 'no a-edge' query is not."""
+
+    G = GraphDB(["v", "w"], [("v", "b", "w")])
+    G_PRIME = GraphDB(["v", "w"], [("v", "b", "w"), ("v", "a", "w")])
+
+    def _no_a_edge_pairs(self, graph):
+        t = graph.to_triplestore()
+        # (σ_{2=a}E)ᶜ restricted to node pairs, per the Thm 8 proof.
+        from repro.translations import node_pairs, normalise
+
+        expr = node_pairs() - normalise(select(R("E"), "2='a'"))
+        return project13(evaluate(expr, t))
+
+    def test_trial_query_is_non_monotone(self):
+        assert ("v", "w") in self._no_a_edge_pairs(self.G)
+        assert ("v", "w") not in self._no_a_edge_pairs(self.G_PRIME)
+
+    def test_cnres_are_monotone(self):
+        """Evaluating any CNRE on G ⊆ G′ can only grow."""
+        queries = [
+            cnre([("x", "b", "y")], free=("x", "y")),
+            cnre([("x", "a+b", "y"), ("y", "(a+b)*", "z")], free=("x", "z")),
+            cnre([("x", "[a].b", "y")], free=("x", "y")),
+        ]
+        for q in queries:
+            assert q.evaluate(self.G) <= q.evaluate(self.G_PRIME)
+
+
+class TestProposition6:
+    def test_distinct_values_family(self):
+        """eₙ nonempty iff the graph has ≥ n distinct data values."""
+        for n in (2, 3, 4):
+            expr = distinct_values_expr(n)
+            small = clique_graph(n - 1)
+            large = clique_graph(n)
+            assert (
+                evaluate_rem(expr, small.edges, small.rho_map()) == frozenset()
+            )
+            assert evaluate_rem(expr, large.edges, large.rho_map()) != frozenset()
+
+    def test_same_data_values_block_family(self):
+        g = clique_graph(5, distinct_data=False)
+        expr = distinct_values_expr(3)
+        assert evaluate_rem(expr, g.edges, g.rho_map()) == frozenset()
+
+    def test_family_needs_n_at_least_2(self):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            distinct_values_expr(1)

@@ -1,0 +1,90 @@
+"""Tests for transitive-closure logic (TrCl)."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic import (
+    Eq,
+    Exists,
+    Not,
+    RelAtom,
+    Sim,
+    Trcl,
+    Var,
+    answers_trcl,
+    satisfies_trcl,
+)
+from repro.triplestore import Triplestore
+
+CHAIN = Triplestore(
+    [("a", "p", "b"), ("b", "p", "c"), ("c", "q", "d")],
+    rho={"a": 1, "b": 1, "c": 2, "d": 2},
+)
+
+EDGE = RelAtom("E", (Var("x"), Var("w"), Var("y")))
+STEP = Exists("w", EDGE)  # x steps to y via any middle
+
+
+class TestTrclSemantics:
+    def test_reachability(self):
+        tr = Trcl(("x",), ("y",), STEP, ("x",), ("y",))
+        assert satisfies_trcl(tr, CHAIN, {"x": "a", "y": "d"})
+        assert not satisfies_trcl(tr, CHAIN, {"x": "d", "y": "a"})
+
+    def test_at_least_one_step(self):
+        """Our TrCl is ≥1-step (matches the Thm 6 translations)."""
+        tr = Trcl(("x",), ("y",), STEP, ("x",), ("y",))
+        assert not satisfies_trcl(tr, CHAIN, {"x": "a", "y": "a"})
+
+    def test_parameterised_closure(self):
+        # Edges restricted to middle w = z (a free parameter).
+        edge_z = RelAtom("E", (Var("x"), Var("z"), Var("y")))
+        tr = Trcl(("x",), ("y",), edge_z, ("x",), ("y",))
+        assert satisfies_trcl(tr, CHAIN, {"x": "a", "y": "c", "z": "p"})
+        assert not satisfies_trcl(tr, CHAIN, {"x": "a", "y": "d", "z": "p"})
+
+    def test_unbound_parameter_raises(self):
+        edge_z = RelAtom("E", (Var("x"), Var("z"), Var("y")))
+        tr = Trcl(("x",), ("y",), edge_z, ("x",), ("y",))
+        with pytest.raises(LogicError):
+            satisfies_trcl(tr, CHAIN, {"x": "a", "y": "c"})
+
+    def test_pair_closure(self):
+        """Closures over pairs (n = 2) work too."""
+        # (x1,x2) -> (y1,y2) when E(x1, x2... ) — use a simple shift.
+        phi = RelAtom("E", (Var("x1"), Var("x2"), Var("y1")))
+        phi = Exists("q", RelAtom("E", (Var("x1"), Var("q"), Var("y1"))))
+        from repro.logic.fo import And
+        step = And(phi, Eq(Var("y2"), Var("x2")))
+        tr = Trcl(("x1", "x2"), ("y1", "y2"), step, ("x1", "x2"), ("y1", "y2"))
+        assert satisfies_trcl(
+            tr, CHAIN, {"x1": "a", "x2": "p", "y1": "c", "y2": "p"}
+        )
+
+    def test_boolean_combination(self):
+        tr = Trcl(("x",), ("y",), STEP, ("x",), ("y",))
+        assert satisfies_trcl(Not(tr), CHAIN, {"x": "d", "y": "a"})
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(LogicError):
+            Trcl(("x",), ("y", "z"), STEP, ("x",), ("y",))
+
+    def test_shared_closure_vars_rejected(self):
+        with pytest.raises(LogicError):
+            Trcl(("x",), ("x",), STEP, ("x",), ("x",))
+
+
+class TestAnswers:
+    def test_answers_trcl_enumerates(self):
+        tr = Trcl(("x",), ("y",), STEP, ("x",), ("y",))
+        got = answers_trcl(tr, CHAIN, ("x", "y"))
+        assert ("a", "d") in got
+        assert ("a", "a") not in got
+
+    def test_trcl_free_formula_uses_fast_path(self):
+        got = answers_trcl(Sim(Var("x"), Var("y")), CHAIN, ("x", "y"))
+        assert ("a", "b") in got and ("a", "c") not in got
+
+    def test_variable_counting_includes_closure_vars(self):
+        tr = Trcl(("x",), ("y",), STEP, ("x",), ("y",))
+        assert tr.num_variables() == 3  # x, y, w
