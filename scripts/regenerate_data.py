@@ -1,0 +1,66 @@
+"""Regenerate the shipped fixture files under ``data/``.
+
+The integration tests assert that the shipped files match the in-code
+datasets exactly (``data/figure1.tstore`` against
+:func:`repro.rdf.figure1`, ``data/query_q.dl`` against the Proposition 2
+translation of :func:`repro.core.query_q`), so whenever either changes,
+re-run::
+
+    PYTHONPATH=src python scripts/regenerate_data.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import evaluate, query_q
+from repro.datalog import parse_program, run_program, trial_to_datalog
+from repro.rdf import figure1
+from repro.triplestore import dumps, loads
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+FIGURE1_HEADER = """\
+# The transport network of Figure 1 (Libkin, Reutter, Vrgoč — PODS 2013),
+# serialised from repro.rdf.datasets.figure1().
+# Regenerate with: PYTHONPATH=src python scripts/regenerate_data.py
+"""
+
+QUERY_Q_HEADER = """\
+# Query Q (Section 2.2 / Example 4) as a TripleDatalog program:
+# pairs of cities connected by services operated by a single company.
+# Produced by trial_to_datalog(query_q()); the answer predicate is Ans.
+# Regenerate with: PYTHONPATH=src python scripts/regenerate_data.py
+"""
+
+
+def main() -> int:
+    DATA.mkdir(exist_ok=True)
+
+    store = figure1()
+    (DATA / "figure1.tstore").write_text(
+        FIGURE1_HEADER + dumps(store), encoding="utf-8"
+    )
+
+    program = trial_to_datalog(query_q())
+    (DATA / "query_q.dl").write_text(
+        QUERY_Q_HEADER + repr(program) + "\n", encoding="utf-8"
+    )
+
+    # Verify the round trips the integration tests rely on.
+    reloaded = loads((DATA / "figure1.tstore").read_text(encoding="utf-8"))
+    assert reloaded == store, "figure1.tstore does not round-trip"
+    reparsed = parse_program((DATA / "query_q.dl").read_text(encoding="utf-8"))
+    assert run_program(reparsed, store) == evaluate(query_q(), store), (
+        "query_q.dl disagrees with query_q() on figure1"
+    )
+    print(f"wrote {DATA / 'figure1.tstore'} ({store.size} triples)")
+    print(f"wrote {DATA / 'query_q.dl'} ({len(reparsed)} rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

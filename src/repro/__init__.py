@@ -54,6 +54,7 @@ from repro.core import (
     select,
     star,
 )
+from repro.db import Database
 from repro.errors import ReproError
 from repro.triplestore import Triplestore
 
@@ -62,6 +63,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Cond",
     "Const",
+    "Database",
     "Diff",
     "Engine",
     "Expr",

@@ -1,12 +1,19 @@
 """Command-line interface: query triplestore files from the shell.
 
+All commands route through the :class:`repro.db.Database` facade —
+parse → logical optimizer → cost-based physical planner → executor.
+
 Usage (after installation, or via ``python -m repro.cli``)::
 
     # TriAL / TriAL* queries in the text syntax
     python -m repro.cli query store.tstore "star[1,2,3'; 3=1'](E)"
     python -m repro.cli query store.tstore "join[1,3',3; 2=1'](E, E)" --engine naive
+    python -m repro.cli query store.tstore "join[1,3',3; 2=1'](E, E)" --explain
 
-    # Datalog programs
+    # Physical plans with cost estimates (store optional: anchors stats)
+    python -m repro.cli explain "star[1,2,3'; 3=1'](E)" --physical --store store.tstore
+
+    # Datalog programs (translated to TriAL(*) and planned when possible)
     python -m repro.cli datalog store.tstore program.dl --validate ReachTripleDatalog
 
     # Store statistics
@@ -21,12 +28,13 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core import FastEngine, HashJoinEngine, NaiveEngine, evaluate
+from repro.core import FastEngine, HashJoinEngine, NaiveEngine
 from repro.core.optimizer import optimize
 from repro.core.parser import parse as parse_expr
-from repro.datalog import parse_program, run_program, validate_fragment
+from repro.datalog import parse_program, validate_fragment
+from repro.db import Database
 from repro.errors import ReproError
-from repro.triplestore import Triplestore, load_path
+from repro.triplestore import load_path
 
 ENGINES = {
     "hash": HashJoinEngine,
@@ -45,26 +53,35 @@ def _print_triples(triples, limit: int | None) -> None:
     print(f"# {len(rows)} triples")
 
 
+def _make_engine(args: argparse.Namespace):
+    engine_cls = ENGINES[args.engine]
+    if engine_cls is NaiveEngine:
+        return NaiveEngine()
+    return engine_cls(use_planner=not args.no_planner)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    store = load_path(args.store)
+    db = Database.open(
+        args.store, engine=_make_engine(args), optimize=args.optimize
+    )
     expr = parse_expr(args.expression)
     if args.optimize:
-        expr = optimize(expr)
-        print(f"# optimized: {expr!r}", file=sys.stderr)
-    engine = ENGINES[args.engine]()
-    result = evaluate(expr, store, engine)
+        print(f"# optimized: {db.prepare(expr)!r}", file=sys.stderr)
+    if args.explain:
+        print(db.explain(expr, physical=True), file=sys.stderr)
+    result = db.query(expr)
     _print_triples(result, None if args.limit == 0 else args.limit)
     return 0
 
 
 def _cmd_datalog(args: argparse.Namespace) -> int:
-    store = load_path(args.store)
+    db = Database.open(args.store)
     with open(args.program, encoding="utf-8") as fp:
         program = parse_program(fp.read(), answer=args.answer)
     if args.validate:
         validate_fragment(program, args.validate)
         print(f"# program is valid {args.validate}¬", file=sys.stderr)
-    result = run_program(program, store)
+    result = db.query_datalog(program)
     _print_triples(result, None if args.limit == 0 else args.limit)
     return 0
 
@@ -73,20 +90,30 @@ def _cmd_info(args: argparse.Namespace) -> int:
     store = load_path(args.store)
     print(f"objects:   {store.n_objects}")
     print(f"triples:   {len(store)}")
+    stats = store.stats()
     for name in store.relation_names:
-        print(f"  {name}: {len(store.relation(name))}")
+        rel = stats.relation(name)
+        d = rel.distinct
+        print(
+            f"  {name}: {rel.cardinality} "
+            f"(distinct s/p/o: {d[0]}/{d[1]}/{d[2]})"
+        )
     with_data = sum(1 for o in store.objects if store.rho(o) is not None)
     print(f"rho-assigned objects: {with_data}")
     return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    from repro.core.explain import explain
+    from repro.core.explain import explain, explain_physical
 
     expr = parse_expr(args.expression)
     if args.optimize:
         expr = optimize(expr)
-    print(explain(expr).summary())
+    if args.physical:
+        store = load_path(args.store) if args.store else None
+        print(explain_physical(expr, store))
+    else:
+        print(explain(expr).summary())
     return 0
 
 
@@ -100,8 +127,18 @@ def build_parser() -> argparse.ArgumentParser:
     q = sub.add_parser("query", help="evaluate a TriAL(*) expression")
     q.add_argument("store", help="triplestore file (text format)")
     q.add_argument("expression", help="expression in the TriAL text syntax")
-    q.add_argument("--engine", choices=sorted(ENGINES), default="hash")
+    q.add_argument("--engine", choices=sorted(ENGINES), default="fast")
     q.add_argument("--optimize", action="store_true", help="apply rewrites first")
+    q.add_argument(
+        "--no-planner",
+        action="store_true",
+        help="use the legacy direct interpreter instead of physical plans",
+    )
+    q.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the physical plan (with cost estimates) to stderr first",
+    )
     q.add_argument("--limit", type=int, default=20, help="max rows (0 = all)")
     q.set_defaults(func=_cmd_query)
 
@@ -124,6 +161,15 @@ def build_parser() -> argparse.ArgumentParser:
     e = sub.add_parser("explain", help="static analysis of an expression")
     e.add_argument("expression", help="expression in the TriAL text syntax")
     e.add_argument("--optimize", action="store_true")
+    e.add_argument(
+        "--physical",
+        action="store_true",
+        help="print the compiled physical plan with cost estimates",
+    )
+    e.add_argument(
+        "--store",
+        help="optional store file anchoring the plan's statistics",
+    )
     e.set_defaults(func=_cmd_explain)
 
     return parser

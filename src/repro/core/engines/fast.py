@@ -1,14 +1,18 @@
 """The fragment-aware engine implementing Propositions 4 and 5.
 
-:class:`FastEngine` extends the hash-join engine with the specialised
-reachability algorithms of :mod:`repro.core.engines.reach` whenever a
-Kleene star matches one of the two reachTA= patterns.  In ``strict``
-mode it refuses expressions outside reachTA= (inequalities or general
-stars) with a :class:`~repro.errors.FragmentError` — useful when a
-caller wants the ``O(|e|·|O|·|T|)`` guarantee rather than best effort.
-In non-strict mode (default) it silently falls back to the generic
-algorithms for the unsupported parts, so it is a drop-in accelerated
-replacement for :class:`~repro.core.engines.hashjoin.HashJoinEngine`.
+:class:`FastEngine` extends the hash-join engine by routing any Kleene
+star matching one of the two reachTA= patterns to the specialised
+reachability algorithms of :mod:`repro.core.engines.reach`.  On the
+planner path (the default) this is a compile-time decision — the star
+becomes a :class:`~repro.core.plan.ReachStarOp` in the physical plan; on
+the legacy path the ``_star`` override below makes the same call at
+evaluation time.  In ``strict`` mode it refuses expressions outside
+reachTA= (inequalities or general stars) with a
+:class:`~repro.errors.FragmentError` — useful when a caller wants the
+``O(|e|·|O|·|T|)`` guarantee rather than best effort.  In non-strict mode
+(default) it silently falls back to the generic algorithms for the
+unsupported parts, so it is a drop-in accelerated replacement for
+:class:`~repro.core.engines.hashjoin.HashJoinEngine`.
 """
 
 from __future__ import annotations
@@ -29,10 +33,19 @@ class FastEngine(HashJoinEngine):
     strict:
         When True, evaluating anything outside reachTA= raises
         :class:`FragmentError` instead of falling back.
+    use_planner:
+        As in :class:`HashJoinEngine`.
     """
 
-    def __init__(self, max_universe_objects: int = 400, strict: bool = False) -> None:
-        super().__init__(max_universe_objects)
+    plans_reach_stars = True
+
+    def __init__(
+        self,
+        max_universe_objects: int = 400,
+        strict: bool = False,
+        use_planner: bool = True,
+    ) -> None:
+        super().__init__(max_universe_objects, use_planner=use_planner)
         self.strict = strict
 
     def evaluate(self, expr: Expr, store: Triplestore) -> TripleSet:
@@ -42,6 +55,8 @@ class FastEngine(HashJoinEngine):
                 "general Kleene star); use HashJoinEngine or strict=False"
             )
         return super().evaluate(expr, store)
+
+    # -- legacy (planner-off) path ------------------------------------- #
 
     def _star(self, expr: Star, store: Triplestore, memo: dict) -> TripleSet:
         base = self._eval(expr.expr, store, memo)

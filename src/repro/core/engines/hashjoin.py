@@ -1,6 +1,14 @@
 """Hash-join based evaluation — the library's default engine.
 
-Joins are executed by
+By default expressions are compiled to a physical plan
+(:mod:`repro.core.plan`) and executed: the planner picks hash-join build
+sides from store statistics, serves base-relation build sides from the
+store's cached indexes, and hoists the constant operand of a Kleene star
+out of the fixpoint loop.  ``use_planner=False`` selects the legacy
+direct interpreter below, kept as the planner-off baseline for
+benchmarks and differential testing.
+
+The legacy interpreter executes joins by
 
 1. splitting the condition set into left-local, right-local, cross and
    constant parts;
@@ -15,8 +23,10 @@ semantically identical to the paper's levels
 ``∅ ∪ e ∪ e✶e ∪ (e✶e)✶e ∪ …`` because the triple join distributes over
 union in either argument.
 
-Identical sub-expressions are evaluated once per (engine, store) pair via
-a memo table — the AST is hashable precisely for this purpose.
+Identical sub-expressions are evaluated once per evaluation via a memo
+table (plan-node memoisation on the planner path, an expression-keyed
+table on the legacy path) — the AST is hashable precisely for this
+purpose.
 """
 
 from __future__ import annotations
@@ -38,50 +48,62 @@ from repro.core.expressions import (
     Universe,
 )
 from repro.core.engines.base import Engine, TripleSet, project_out
+from repro.core.plan import ExecContext, PlanOp, compile_plan, split_conditions
 from repro.core.positions import Const, Pos
 from repro.triplestore.model import Triple, Triplestore
 
-
-def split_conditions(conditions: tuple[Cond, ...]) -> tuple[
-    tuple[Cond, ...], tuple[Cond, ...], tuple[Cond, ...], tuple[Cond, ...], tuple[Cond, ...]
-]:
-    """Partition join conditions by which operand(s) they touch.
-
-    Returns ``(left_local, right_local, cross_eq, cross_neq, const_only)``.
-    A condition is *local* when all its positions fall in one operand
-    (constants do not count); *cross* when it mentions both.
-    """
-    left_local: list[Cond] = []
-    right_local: list[Cond] = []
-    cross_eq: list[Cond] = []
-    cross_neq: list[Cond] = []
-    const_only: list[Cond] = []
-    for cond in conditions:
-        sides = {p.is_right for p in cond.positions()}
-        if not sides:
-            const_only.append(cond)
-        elif sides == {False}:
-            left_local.append(cond)
-        elif sides == {True}:
-            right_local.append(cond)
-        else:
-            # Normalise so that cond.left is the left-operand position.
-            if isinstance(cond.left, Pos) and cond.left.is_right:
-                cond = Cond(cond.right, cond.left, cond.op, cond.on_data)
-            (cross_eq if cond.is_equality else cross_neq).append(cond)
-    return (
-        tuple(left_local),
-        tuple(right_local),
-        tuple(cross_eq),
-        tuple(cross_neq),
-        tuple(const_only),
-    )
+__all__ = ["HashJoinEngine", "split_conditions"]
 
 
 class HashJoinEngine(Engine):
-    """Default engine: hash joins + semi-naive fixpoints + memoisation."""
+    """Default engine: cost-based plans + hash joins + semi-naive fixpoints.
+
+    Parameters
+    ----------
+    max_universe_objects:
+        See :class:`~repro.core.engines.base.Engine`.
+    use_planner:
+        When True (default) expressions are compiled to physical plans
+        via :func:`repro.core.plan.compile_plan`; when False the legacy
+        direct interpreter runs instead.
+    """
+
+    #: Route reach-shaped stars to the Prop 4/5 operators when planning?
+    #: (Overridden by FastEngine; here the generic fixpoint is kept so
+    #: this engine stays the pure hash-join baseline.)
+    plans_reach_stars = False
+
+    #: Max prepared plans kept per engine instance.
+    _PLAN_CACHE_SIZE = 64
+
+    def __init__(
+        self, max_universe_objects: int = 400, use_planner: bool = True
+    ) -> None:
+        super().__init__(max_universe_objects)
+        self.use_planner = use_planner
+        self._plan_cache: dict[Expr, PlanOp] = {}
+
+    def compile(self, expr: Expr, store: Triplestore | None = None) -> PlanOp:
+        """The physical plan this engine would execute for ``expr``."""
+        return compile_plan(expr, store, use_reach=self.plans_reach_stars)
+
+    def execute_plan(self, plan: PlanOp, store: Triplestore) -> TripleSet:
+        """Run a compiled plan against a store."""
+        return plan.execute(ExecContext(store, self.max_universe_objects))
 
     def evaluate(self, expr: Expr, store: Triplestore) -> TripleSet:
+        if self.use_planner:
+            # Prepared-statement style: a plan is *correct* for any store
+            # (execution resolves relations and indexes against the store
+            # it is given; statistics only picked the strategy), so plans
+            # are cached per expression.
+            plan = self._plan_cache.get(expr)
+            if plan is None:
+                if len(self._plan_cache) >= self._PLAN_CACHE_SIZE:
+                    self._plan_cache.clear()
+                plan = self.compile(expr, store)
+                self._plan_cache[expr] = plan
+            return self.execute_plan(plan, store)
         memo: dict[Expr, TripleSet] = {}
         return self._eval(expr, store, memo)
 

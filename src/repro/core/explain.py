@@ -29,7 +29,7 @@ from repro.core.expressions import (
 )
 from repro.core.semijoin import in_semijoin_algebra
 
-__all__ = ["Explanation", "explain"]
+__all__ = ["Explanation", "explain", "explain_physical"]
 
 
 @dataclass(frozen=True)
@@ -127,3 +127,50 @@ def explain(expr: Expr) -> Explanation:
         guarantee=guarantee,
         recommended_engine=engine,
     )
+
+
+def explain_physical(expr: Expr, store=None, engine=None) -> str:
+    """The physical plan (with cost estimates) for one expression.
+
+    ``store`` anchors cardinality estimates in real statistics; without
+    one, the planner's textbook defaults are used and the header says so.
+    ``engine`` may be an :class:`~repro.core.engines.base.Engine`
+    instance or ``None`` (the recommended engine's compilation is used:
+    reach-star routing exactly when the static analysis recommends
+    FastEngine).
+    """
+    from repro.core.plan import compile_plan
+
+    report = explain(expr)
+    compiler = getattr(engine, "compile", None)
+    if compiler is not None:
+        plan = compiler(expr, store)
+        compiled_by = type(engine).__name__
+        if not getattr(engine, "use_planner", True):
+            compiled_by += (
+                " — note: use_planner=False; evaluation takes the legacy "
+                "interpreter, not this plan"
+            )
+    else:
+        use_reach = report.recommended_engine == "FastEngine"
+        plan = compile_plan(expr, store, use_reach=use_reach)
+        compiled_by = f"{report.recommended_engine} (recommended)"
+        if engine is not None:
+            compiled_by += (
+                f" — note: {type(engine).__name__} interprets directly "
+                "and will not run this plan"
+            )
+    lines = [
+        f"expression : {report.expression}",
+        f"fragment   : {report.fragment}",
+        f"compiled by: {compiled_by}",
+        "statistics : "
+        + (
+            f"store with |T|={len(store)}, |O|={store.n_objects}"
+            if store is not None
+            else "none (textbook defaults)"
+        ),
+        "physical plan (rows = output estimate, cost = cumulative):",
+        plan.pretty(),
+    ]
+    return "\n".join(lines)

@@ -390,11 +390,27 @@ class DatalogEvaluator:
                     # with an unsatisfiable kept literal.
                     kept.append(EqLit(DConst(value), DConst(const_of[member])))
                 const_of[member] = value
+        # Variables mentioned by any η-similarity literal: a SimLit
+        # compares ρ(object) for variables but takes constants as raw
+        # *data* values, so folding an object-constant pin into one
+        # would silently change its meaning (ρ('b') vs the value 'b').
+        # Those groups keep their variable and re-emit the pin as an
+        # ordinary equality filter instead.
+        sim_vars = {
+            t.name
+            for lit in rule.body
+            if isinstance(lit, SimLit)
+            for t in (lit.left, lit.right)
+            if isinstance(t, DVar)
+        }
         for members in {id(g): g for g in groups.values()}.values():
             representative = sorted(members)[0]
             pinned_value = next(
                 (const_of[m] for m in members if m in const_of), _MISSING
             )
+            if pinned_value is not _MISSING and members & sim_vars:
+                kept.append(EqLit(DVar(representative), DConst(pinned_value)))
+                pinned_value = _MISSING
             for member in members:
                 if pinned_value is not _MISSING:
                     rep[member] = DConst(pinned_value)

@@ -1,0 +1,342 @@
+"""The unified ``Database`` session facade.
+
+One object ties the whole pipeline together — store → statistics →
+logical optimizer → physical planner → executor — and fronts it with an
+LRU plan/result cache, so every frontend (TriAL text, GXPath, RPQs,
+NREs, nSPARQL, Datalog, the CLI) evaluates through one seam::
+
+    from repro.db import Database
+
+    db = Database.open("store.tstore")          # or Database(store)
+    db.query("join[1,3',3; 2=1'](E, E)")        # parsed, optimized, planned
+    db.query_pairs("star[1,2,3'; 3=1'](E)")     # π₁,₃ of the result
+    print(db.explain("(E | E)", physical=True)) # the chosen physical plan
+
+Caches are keyed on ``(expression, store)``: the store is immutable by
+convention, so entries never go stale; :meth:`Database.install` swaps in
+a derived store (the paper's composition/closure story) and invalidates
+everything in one step.  Repeated queries — and repeated *sub*-queries
+via the planner's shared-scan indexes — then hit warm state instead of
+recomputing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Union as TypingUnion
+
+from repro.core import project13
+from repro.core.engines.base import Engine, TripleSet
+from repro.core.engines.fast import FastEngine
+from repro.core.expressions import Expr
+from repro.core.optimizer import optimize as optimize_expr
+from repro.core.parser import parse as parse_expr
+from repro.core.plan import ExecContext, PlanOp
+from repro.errors import EvaluationBudgetError, ReproError
+from repro.triplestore.model import Triple, Triplestore
+
+__all__ = ["CacheInfo", "Database"]
+
+Query = TypingUnion[Expr, str]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A snapshot of one LRU cache's counters."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+class _LRU:
+    """A small LRU map with hit/miss counters (no external deps)."""
+
+    __slots__ = ("maxsize", "hits", "misses", "_data")
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+
+    def get(self, key: Any, compute: Callable[[], Any]) -> Any:
+        if self.maxsize <= 0:
+            self.misses += 1
+            return compute()
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+            return value
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(self.hits, self.misses, len(self._data), self.maxsize)
+
+
+class Database:
+    """A query session over one triplestore.
+
+    Parameters
+    ----------
+    store:
+        The triplestore to query.
+    engine:
+        Any :class:`~repro.core.engines.base.Engine`; defaults to a
+        :class:`~repro.core.engines.fast.FastEngine` (planner on,
+        Proposition 4/5 reach operators enabled).
+    optimize:
+        Apply the logical rewrites of :mod:`repro.core.optimizer` before
+        planning (default True).
+    cache_size:
+        Max entries in each of the plan and result LRU caches; 0 disables
+        caching.
+    """
+
+    def __init__(
+        self,
+        store: Triplestore,
+        engine: Engine | None = None,
+        *,
+        optimize: bool = True,
+        cache_size: int = 128,
+    ) -> None:
+        self.store = store
+        self.engine = engine if engine is not None else FastEngine()
+        self.optimize = optimize
+        self._results = _LRU(cache_size)
+        self._plans = _LRU(cache_size)
+        self._aux = _LRU(cache_size)
+        #: Bumped on :meth:`install`; part of every cache key, so keys
+        #: are semantically ``(expr, store)`` without hashing the store.
+        self._epoch = 0
+        #: Set by :meth:`from_rdf`; used by :meth:`query_nsparql`.
+        self.document = None
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def open(cls, path: str, **kwargs: Any) -> "Database":
+        """Open a store file in the :mod:`repro.triplestore.io` format."""
+        from repro.triplestore.io import load_path
+
+        return cls(load_path(path), **kwargs)
+
+    @classmethod
+    def from_triples(
+        cls, triples: Iterable[Triple], rho: dict | None = None, **kwargs: Any
+    ) -> "Database":
+        """A session over a fresh single-relation store."""
+        return cls(Triplestore(triples, rho), **kwargs)
+
+    @classmethod
+    def from_graph(cls, graph: Any, relation: str = "E", **kwargs: Any) -> "Database":
+        """A session over a graph database's triplestore encoding
+        (Section 6.2's ``T_G``); accepts anything with ``to_triplestore``."""
+        return cls(graph.to_triplestore(relation), **kwargs)
+
+    @classmethod
+    def from_rdf(cls, document: Any, relation: str = "E", **kwargs: Any) -> "Database":
+        """A session over an RDF document; keeps the document around so
+        :meth:`query_nsparql` can use the Theorem 1 axis semantics."""
+        db = cls(document.to_triplestore(relation), **kwargs)
+        db.document = document
+        return db
+
+    # ------------------------------------------------------------------ #
+    # Core query path: parse → optimize → plan → execute, all cached
+    # ------------------------------------------------------------------ #
+
+    def _coerce(self, query: Query) -> Expr:
+        if isinstance(query, str):
+            return parse_expr(query)
+        return query
+
+    def prepare(self, query: Query) -> Expr:
+        """The (optionally optimised) logical expression for ``query``."""
+        expr = self._coerce(query)
+        return optimize_expr(expr) if self.optimize else expr
+
+    def plan(self, query: Query) -> PlanOp:
+        """The cached physical plan the session's engine would execute.
+
+        Raises :class:`~repro.errors.ReproError` subclasses on parse
+        errors; engines without a planner (e.g. NaiveEngine) are
+        planned with the default compiler for inspection purposes.
+        """
+        expr = self.prepare(query)
+        compiler = getattr(self.engine, "compile", None)
+        if compiler is None:
+            from repro.core.plan import compile_plan
+
+            return self._plans.get(
+                (expr, self._epoch), lambda: compile_plan(expr, self.store)
+            )
+        return self._plans.get((expr, self._epoch), lambda: compiler(expr, self.store))
+
+    def query(self, query: Query) -> TripleSet:
+        """Evaluate a TriAL(*) expression (or its text syntax) — cached."""
+        expr = self._coerce(query)
+        return self._results.get((expr, self._epoch), lambda: self._evaluate(expr))
+
+    def _evaluate(self, expr: Expr) -> TripleSet:
+        prepared = optimize_expr(expr) if self.optimize else expr
+        use_planner = getattr(self.engine, "use_planner", False)
+        if use_planner and hasattr(self.engine, "execute_plan"):
+            plan = self._plans.get(
+                (prepared, self._epoch), lambda: self.engine.compile(prepared, self.store)
+            )
+            return self.engine.execute_plan(plan, self.store)
+        return self.engine.evaluate(prepared, self.store)
+
+    def query_pairs(self, query: Query) -> frozenset:
+        """π₁,₃ of :meth:`query` — the binary-query convention of §6.2."""
+        return project13(self.query(query))
+
+    def explain(self, query: Query, physical: bool = False) -> str:
+        """A logical analysis of ``query``, or the physical plan text."""
+        from repro.core.explain import explain, explain_physical
+
+        expr = self.prepare(query)
+        if physical:
+            return explain_physical(expr, self.store, engine=self.engine)
+        return explain(expr).summary()
+
+    # ------------------------------------------------------------------ #
+    # Composition / cache lifecycle
+    # ------------------------------------------------------------------ #
+
+    def install(self, name: str, triples_or_query: Query | Iterable[Triple]) -> None:
+        """Bind a relation in the session's store (closure in practice).
+
+        Accepts either raw triples or a query whose *result* is
+        installed.  The store object is replaced (stores stay immutable)
+        and all caches are invalidated.
+        """
+        if isinstance(triples_or_query, (Expr, str)):
+            triples = self.query(triples_or_query)
+        else:
+            triples = triples_or_query
+        self.store = self.store.with_relation(name, triples)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._epoch += 1
+        self._results.clear()
+        self._plans.clear()
+        self._aux.clear()
+
+    def clear_cache(self) -> None:
+        """Drop all cached plans and results (counters are kept)."""
+        self._results.clear()
+        self._plans.clear()
+        self._aux.clear()
+
+    def cache_info(self) -> dict[str, CacheInfo]:
+        """Hit/miss counters for the result, plan and auxiliary caches."""
+        return {
+            "results": self._results.info(),
+            "plans": self._plans.info(),
+            "aux": self._aux.info(),
+        }
+
+    def cached(self, key: Any, compute: Callable[[], Any]) -> Any:
+        """Memoise an arbitrary frontend computation against this session.
+
+        Used by frontends whose semantics does not factor through TriAL
+        (e.g. per-pattern NRE pair sets in nSPARQL evaluation) so they
+        still benefit from — and are invalidated with — the session cache.
+        """
+        return self._aux.get((key, self._epoch), compute)
+
+    # ------------------------------------------------------------------ #
+    # Frontends: graph languages, nSPARQL, Datalog
+    # ------------------------------------------------------------------ #
+
+    def query_gxpath(self, path: Any) -> frozenset:
+        """Evaluate a GXPath path expression (text or AST) — node pairs.
+
+        The expression is translated to TriAL* (Theorem 7) and executed
+        through the planner; results are π₁,₃-projected.
+        """
+        from repro.graphdb.gxpath_parser import parse_gxpath
+        from repro.translations.graph_to_trial import gxpath_to_trial
+
+        if isinstance(path, str):
+            path = parse_gxpath(path)
+        return self.query_pairs(gxpath_to_trial(path))
+
+    def query_rpq(self, regex: Any) -> frozenset:
+        """Evaluate a regular path query (Corollary 2's translation)."""
+        from repro.translations.graph_to_trial import rpq_to_trial
+
+        return self.query_pairs(rpq_to_trial(regex))
+
+    def query_nre(self, nre: Any) -> frozenset:
+        """Evaluate a nested regular expression over the graph encoding."""
+        from repro.translations.graph_to_trial import nre_to_trial
+
+        return self.query_pairs(nre_to_trial(nre))
+
+    def query_nsparql(self, nsparql_query: Any) -> frozenset:
+        """Evaluate an :class:`~repro.rdf.nsparql_query.NSparqlQuery`.
+
+        Requires a session built with :meth:`from_rdf` (the axis
+        semantics needs the document, not just its triples); per-pattern
+        NRE results are memoised in the session cache.
+        """
+        if self.document is None:
+            raise ReproError(
+                "query_nsparql needs a Database.from_rdf session "
+                "(the nSPARQL axes are defined on the RDF document)"
+            )
+        return nsparql_query.evaluate(self.document, db=self)
+
+    def query_datalog(self, program: Any, answer: str | None = None) -> TripleSet:
+        """Run a (Reach)TripleDatalog¬ program (text or parsed).
+
+        Programs inside the paper's fragments are translated to TriAL(*)
+        (Propositions 2/3) and executed through the planner — sharing the
+        session's plan/result caches; anything the translation rejects
+        falls back to the native stratified evaluator.
+        """
+        from repro.datalog import datalog_to_trial, parse_program, run_program
+
+        if isinstance(program, str):
+            program = (
+                parse_program(program, answer=answer)
+                if answer is not None
+                else parse_program(program)
+            )
+        try:
+            expr = datalog_to_trial(program)
+        except ReproError:
+            return run_program(program, self.store)
+        try:
+            return self.query(expr)
+        except EvaluationBudgetError:
+            # Negated literals translate to U-based complements, which
+            # materialise cubically; the native evaluator negates
+            # per-rule instead, so large stores fall back to it.
+            return run_program(program, self.store)
+
+    def __repr__(self) -> str:
+        info = self._results.info()
+        return (
+            f"Database({self.store!r}, engine={type(self.engine).__name__}, "
+            f"cache={info.size}/{info.maxsize})"
+        )

@@ -1,0 +1,48 @@
+"""Graph query frontends routed through the :class:`~repro.db.Database` facade.
+
+The native evaluators in this package (:func:`~repro.graphdb.rpq.evaluate_rpq`,
+:func:`~repro.graphdb.gxpath.evaluate_gxpath`) remain the semantic
+reference implementations; these helpers are the *production* path — a
+graph query is translated to TriAL* (Theorem 7 / Corollary 2) and
+executed by the cost-based planner, with the session's plan/result
+caches shared across queries on the same graph::
+
+    from repro.graphdb import graph_database
+
+    db = graph_database(graph)
+    db.query_gxpath("a/b-")         # node pairs, planner + cache
+    db.query_rpq("a.(b)*")
+
+Cross-validation against the native evaluators lives in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graphdb.model import GraphDB
+
+__all__ = ["graph_database", "gxpath_pairs", "rpq_pairs"]
+
+
+def graph_database(graph: GraphDB, relation: str = "E", **kwargs: Any):
+    """A :class:`~repro.db.Database` session over ``graph``'s encoding T_G."""
+    from repro.db import Database
+
+    return Database.from_graph(graph, relation, **kwargs)
+
+
+def gxpath_pairs(graph_or_db: Any, path: Any) -> frozenset:
+    """Evaluate a GXPath expression via the facade — ``α(G)`` as node pairs.
+
+    Accepts a :class:`GraphDB` (a throwaway session is created) or an
+    existing :class:`~repro.db.Database` (its caches are reused).
+    """
+    db = graph_or_db if hasattr(graph_or_db, "query_gxpath") else graph_database(graph_or_db)
+    return db.query_gxpath(path)
+
+
+def rpq_pairs(graph_or_db: Any, regex: Any) -> frozenset:
+    """Evaluate a regular path query via the facade."""
+    db = graph_or_db if hasattr(graph_or_db, "query_rpq") else graph_database(graph_or_db)
+    return db.query_rpq(regex)

@@ -112,11 +112,16 @@ class NSparqlQuery:
         self.select = tuple(select)
         self.filters = tuple(filters)
 
-    def evaluate(self, document: RDFGraph) -> frozenset[tuple]:
-        """All bindings of the selected variables."""
+    def evaluate(self, document: RDFGraph, db=None) -> frozenset[tuple]:
+        """All bindings of the selected variables.
+
+        ``db`` may be a :class:`repro.db.Database` session, in which
+        case each pattern's NRE pair set is memoised there — repeated
+        NREs across patterns and queries are computed once per store.
+        """
         solutions: list[dict[str, Any]] = [{}]
         for pattern in self.patterns:
-            pairs = evaluate_nsparql_nre(document, pattern.nre)
+            pairs = self._pattern_pairs(document, pattern.nre, db)
             next_solutions: list[dict[str, Any]] = []
             for sol in solutions:
                 for u, v in pairs:
@@ -134,6 +139,17 @@ class NSparqlQuery:
             if all(f.holds(sol) for f in self.filters):
                 out.add(tuple(sol[v] for v in self.select))
         return frozenset(out)
+
+    @staticmethod
+    def _pattern_pairs(document: RDFGraph, nre: Nre, db) -> frozenset[tuple]:
+        # Only the session's own document may use the session cache —
+        # the memo key carries the NRE, not the document, so caching a
+        # foreign document's pairs would serve stale bindings later.
+        if db is None or document is not getattr(db, "document", None):
+            return evaluate_nsparql_nre(document, nre)
+        return db.cached(
+            ("nsparql-nre", nre), lambda: evaluate_nsparql_nre(document, nre)
+        )
 
 
 def _bind(binding: dict[str, Any], term: QTerm, value: Any) -> bool:

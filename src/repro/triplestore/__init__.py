@@ -3,13 +3,17 @@
 from repro.triplestore.io import dump, dump_path, dumps, load, load_path, loads
 from repro.triplestore.matrix import MatrixStore
 from repro.triplestore.model import DEFAULT_RELATION, Obj, Triple, Triplestore
+from repro.triplestore.stats import DEFAULT_STATS, RelationStats, TriplestoreStats
 
 __all__ = [
     "DEFAULT_RELATION",
+    "DEFAULT_STATS",
     "MatrixStore",
     "Obj",
+    "RelationStats",
     "Triple",
     "Triplestore",
+    "TriplestoreStats",
     "dump",
     "dump_path",
     "dumps",

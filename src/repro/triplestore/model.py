@@ -65,7 +65,7 @@ class Triplestore:
     ['a', 'b', 'p']
     """
 
-    __slots__ = ("_relations", "_rho", "_objects", "_indexes")
+    __slots__ = ("_relations", "_rho", "_objects", "_indexes", "_stats")
 
     def __init__(
         self,
@@ -96,6 +96,7 @@ class Triplestore:
         self._rho: dict[Obj, Any] = dict(rho or {})
         self._objects: frozenset[Obj] = frozenset(objects)
         self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[Triple]]] = {}
+        self._stats = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -227,6 +228,23 @@ class Triplestore:
             idx.setdefault(tuple(triple[p] for p in positions), []).append(triple)
         self._indexes[key] = idx
         return idx
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> "TriplestoreStats":
+        """The store's statistics catalog (lazy, cached like indexes).
+
+        >>> t = Triplestore([("a", "p", "b"), ("a", "q", "c")])
+        >>> t.stats().cardinality("E"), t.stats().distinct("E", 0)
+        (2, 1)
+        """
+        if self._stats is None:
+            from repro.triplestore.stats import TriplestoreStats
+
+            self._stats = TriplestoreStats(self)
+        return self._stats
 
     # ------------------------------------------------------------------ #
     # Convenience constructors

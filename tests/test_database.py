@@ -1,0 +1,219 @@
+"""The Database facade: caching, invalidation, frontend routing."""
+
+import pytest
+
+from repro.core import (
+    FastEngine,
+    HashJoinEngine,
+    NaiveEngine,
+    evaluate,
+    parse,
+    project13,
+    query_q,
+)
+from repro.datalog import parse_program, run_program, trial_to_datalog
+from repro.db import Database
+from repro.errors import ReproError, UnknownRelationError
+from repro.graphdb import (
+    evaluate_gxpath,
+    evaluate_rpq,
+    graph_database,
+    gxpath_pairs,
+    parse_gxpath,
+    parse_nre,
+    rpq_pairs,
+)
+from repro.graphdb.nre import evaluate_nre
+from repro.rdf import RDFGraph, figure1
+from repro.rdf.nsparql_query import Filter, NSparqlQuery, Pattern, QVar
+from repro.workloads import random_graph, transport_network
+
+
+@pytest.fixture()
+def db():
+    return Database(figure1())
+
+
+class TestQueryPath:
+    def test_query_accepts_text_and_ast(self, db):
+        text = "join[1,3',3; 2=1'](E, E)"
+        assert db.query(text) == db.query(parse(text))
+
+    def test_matches_direct_evaluation(self, db):
+        assert db.query(query_q()) == evaluate(query_q(), figure1())
+
+    def test_query_pairs_projects(self, db):
+        assert db.query_pairs(query_q()) == project13(db.query(query_q()))
+
+    def test_parse_errors_surface(self, db):
+        with pytest.raises(ReproError):
+            db.query("join[**](E)")
+
+    def test_unknown_relation_surfaces(self, db):
+        with pytest.raises(UnknownRelationError):
+            db.query("Nope")
+
+    def test_works_with_every_engine(self):
+        expected = evaluate(query_q(), figure1())
+        for engine in (NaiveEngine(), HashJoinEngine(), FastEngine(),
+                       HashJoinEngine(use_planner=False)):
+            assert Database(figure1(), engine).query(query_q()) == expected
+
+    def test_optimize_off_still_correct(self):
+        db = Database(figure1(), optimize=False)
+        assert db.query(query_q()) == evaluate(query_q(), figure1())
+
+
+class TestCaching:
+    def test_repeated_query_hits_cache(self, db):
+        q = "star[1,2,3'; 3=1'](E)"
+        db.query(q)
+        before = db.cache_info()["results"].hits
+        db.query(q)
+        assert db.cache_info()["results"].hits == before + 1
+
+    def test_results_are_cached_by_expression_identity(self, db):
+        db.query("E")
+        db.query("E")  # same parse → same Expr → hit
+        info = db.cache_info()["results"]
+        assert info.hits == 1 and info.misses == 1
+
+    def test_install_invalidates(self, db):
+        q = "E"
+        first = db.query(q)
+        db.install("E", [("x", "y", "z")])
+        second = db.query(q)
+        assert second == {("x", "y", "z")}
+        assert second != first
+        # Post-install lookups are misses, not stale hits.
+        assert db.cache_info()["results"].misses >= 2
+
+    def test_install_query_result_composes(self, db):
+        db.install("Q", query_q())
+        assert db.query("Q") == evaluate(query_q(), figure1())
+
+    def test_clear_cache(self, db):
+        db.query("E")
+        db.clear_cache()
+        db.query("E")
+        assert db.cache_info()["results"].misses == 2
+
+    def test_cache_size_zero_disables(self):
+        db = Database(figure1(), cache_size=0)
+        db.query("E")
+        db.query("E")
+        info = db.cache_info()["results"]
+        assert info.hits == 0 and info.size == 0
+
+    def test_lru_evicts_oldest(self):
+        db = Database(figure1(), cache_size=2)
+        db.query("E")
+        db.query("(E | E)")
+        db.query("(E - E)")  # evicts "E"
+        db.query("E")
+        assert db.cache_info()["results"].hits == 0
+
+    def test_plan_cache_counts(self, db):
+        q = "join[1,2,3'; 3=1'](E, E)"
+        db.plan(q)
+        db.plan(q)
+        info = db.cache_info()["plans"]
+        assert info.hits >= 1
+
+
+class TestExplain:
+    def test_logical_explain(self, db):
+        text = db.explain("star[1,2,3'; 3=1'](E)")
+        assert "reachTA=" in text
+
+    def test_physical_explain_shows_plan_and_costs(self, db):
+        text = db.explain("join[1,3',3; 2=1'](E, E)", physical=True)
+        assert "HashJoin" in text
+        assert "cost≈" in text
+        assert "|T|=7" in text
+
+    def test_physical_explain_routes_reach_star(self, db):
+        text = db.explain("star[1,2,3'; 3=1'](E)", physical=True)
+        assert "ReachStar" in text
+
+
+class TestGraphFrontends:
+    def test_gxpath_agrees_with_native(self):
+        g = random_graph(5, 8, seed=21)
+        alpha = parse_gxpath("a/b-")
+        assert gxpath_pairs(g, "a/b-") == evaluate_gxpath(g, alpha)
+
+    def test_rpq_agrees_with_native(self):
+        g = random_graph(6, 10, seed=3)
+        assert rpq_pairs(g, "a.(b)*") == evaluate_rpq(g, "a.(b)*")
+
+    def test_nre_agrees_with_native(self):
+        g = random_graph(6, 10, seed=7)
+        nre = parse_nre("a.[b]")
+        db = graph_database(g)
+        assert db.query_nre(nre) == evaluate_nre(g, nre)
+
+    def test_graph_database_session_caches_across_queries(self):
+        g = random_graph(5, 8, seed=21)
+        db = graph_database(g)
+        db.query_gxpath("a/b-")
+        db.query_gxpath("a/b-")
+        assert db.cache_info()["results"].hits >= 1
+
+
+class TestRdfAndDatalogFrontends:
+    def test_nsparql_through_facade(self):
+        doc = RDFGraph(figure1().relation("E"))
+        q = NSparqlQuery(
+            patterns=[Pattern(QVar("x"), parse_nre("next"), QVar("y"))],
+            select=("x", "y"),
+        )
+        db = Database.from_rdf(doc)
+        assert db.query_nsparql(q) == q.evaluate(doc)
+        # Pattern pair sets are memoised in the session.
+        db.query_nsparql(q)
+        assert db.cache_info()["aux"].hits >= 1
+
+    def test_nsparql_requires_rdf_session(self, db):
+        q = NSparqlQuery(
+            patterns=[Pattern(QVar("x"), parse_nre("next"), QVar("y"))],
+            select=("x", "y"),
+        )
+        with pytest.raises(ReproError):
+            db.query_nsparql(q)
+
+    def test_datalog_translated_path_matches_native(self):
+        store = transport_network(n_cities=8, n_services=2, n_companies=2, seed=9)
+        program = trial_to_datalog(query_q())
+        db = Database(store)
+        assert db.query_datalog(program) == run_program(program, store)
+
+    def test_datalog_text_input(self, db):
+        result = db.query_datalog(
+            "R(x,y,z) :- E(x,y,z).\nAns(x,y,z) :- R(x,y,z).\n"
+        )
+        assert result == figure1().relation("E")
+
+    def test_datalog_fallback_outside_fragment(self, db):
+        # Binary predicates have no triple encoding — translation refuses,
+        # the native stratified evaluator answers.
+        program = parse_program(
+            "P(x,z) :- E(x,y,z).\nAns(x,y,z) :- E(x,y,z), P(x, z).\n"
+        )
+        assert db.query_datalog(program) == run_program(program, figure1())
+
+
+class TestConstructors:
+    def test_open_round_trips(self, tmp_path):
+        from repro.triplestore import dump_path
+
+        path = tmp_path / "s.tstore"
+        dump_path(figure1(), str(path))
+        assert Database.open(str(path)).query("E") == figure1().relation("E")
+
+    def test_from_triples(self):
+        db = Database.from_triples([("a", "p", "b")])
+        assert db.query("E") == {("a", "p", "b")}
+
+    def test_repr_mentions_engine(self, db):
+        assert "FastEngine" in repr(db)

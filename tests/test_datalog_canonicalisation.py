@@ -59,6 +59,21 @@ class TestEqualityFolding:
         got = run_program(p, STORE)
         assert ("a", "p", "c") in got
 
+    def test_constant_pin_on_sim_variable_keeps_rho_semantics(self):
+        """Regression: folding ``z = 'b'`` into ``~(x, z)`` must not turn
+        ρ(z) into the raw data value 'b' — the pin stays a filter."""
+        p = parse_program("Ans(x,y,z) :- E(x,y,z), z = 'b', ~(x, z).")
+        # ρ(a) = ρ(b) = 1, so (a, p, b) qualifies; nothing else ends in b.
+        assert run_program(p, STORE) == {("a", "p", "b")}
+
+    def test_constant_pin_on_negated_sim_variable(self):
+        p = parse_program("Ans(x,y,z) :- E(x,y,z), z = 'c', not ~(x, z).")
+        # ρ(d) = ρ(c) = 2, so ~(d, c) holds and the negation drops the
+        # triple.  The buggy folding compared ρ(d) = 2 with the raw
+        # object 'c' instead, kept it, and answered {(d, p, c)}.
+        store = Triplestore([("d", "p", "c")], rho={"d": 2, "c": 2})
+        assert run_program(p, store) == frozenset()
+
     def test_recursive_rule_with_equalities(self):
         p = parse_program(
             """
