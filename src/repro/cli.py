@@ -10,8 +10,12 @@ Usage (after installation, or via ``python -m repro.cli``)::
     python -m repro.cli query store.tstore "join[1,3',3; 2=1'](E, E)" --engine naive
     python -m repro.cli query store.tstore "join[1,3',3; 2=1'](E, E)" --explain
 
+    # Vectorised columnar execution of the same plans
+    python -m repro.cli query store.tstore "star[1,2,3'; 3=1'](E)" --backend columnar
+
     # Physical plans with cost estimates (store optional: anchors stats)
     python -m repro.cli explain "star[1,2,3'; 3=1'](E)" --physical --store store.tstore
+    python -m repro.cli explain "star[1,2,3'; 3=1'](E)" --physical --backend columnar
 
     # Datalog programs (translated to TriAL(*) and planned when possible)
     python -m repro.cli datalog store.tstore program.dl --validate ReachTripleDatalog
@@ -28,19 +32,15 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core import FastEngine, HashJoinEngine, NaiveEngine
+from repro.core import ENGINE_REGISTRY, NaiveEngine, VectorEngine
 from repro.core.optimizer import optimize
 from repro.core.parser import parse as parse_expr
 from repro.datalog import parse_program, validate_fragment
-from repro.db import Database
+from repro.db import BACKENDS, Database
 from repro.errors import ReproError
 from repro.triplestore import load_path
 
-ENGINES = {
-    "hash": HashJoinEngine,
-    "naive": NaiveEngine,
-    "fast": FastEngine,
-}
+ENGINES = ENGINE_REGISTRY
 
 
 def _print_triples(triples, limit: int | None) -> None:
@@ -54,7 +54,28 @@ def _print_triples(triples, limit: int | None) -> None:
 
 
 def _make_engine(args: argparse.Namespace):
-    engine_cls = ENGINES[args.engine]
+    name = args.engine
+    backend = getattr(args, "backend", None)
+    if backend == "columnar":
+        # The columnar backend is the vector engine; --engine may agree
+        # (vector) or be left at its default, but a set-only engine
+        # contradicts the request.
+        if name not in ("fast", "vector"):
+            raise ReproError(
+                f"--backend columnar runs the vector engine; "
+                f"drop --engine {name} or use --backend set"
+            )
+        name = "vector"
+    elif backend == "set" and name == "vector":
+        raise ReproError(
+            "--engine vector runs the columnar backend; "
+            "drop --backend set or pick another engine"
+        )
+    if name == "vector" and args.no_planner:
+        # The planner seam *is* the columnar entry point; without it the
+        # legacy set interpreter would silently run instead.
+        raise ReproError("the columnar backend is planner-only; drop --no-planner")
+    engine_cls = ENGINES[name]
     if engine_cls is NaiveEngine:
         return NaiveEngine()
     return engine_cls(use_planner=not args.no_planner)
@@ -111,7 +132,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         expr = optimize(expr)
     if args.physical:
         store = load_path(args.store) if args.store else None
-        print(explain_physical(expr, store))
+        print(explain_physical(expr, store, backend=args.backend))
     else:
         print(explain(expr).summary())
     return 0
@@ -128,6 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("store", help="triplestore file (text format)")
     q.add_argument("expression", help="expression in the TriAL text syntax")
     q.add_argument("--engine", choices=sorted(ENGINES), default="fast")
+    q.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="execution backend: tuple-at-a-time sets (default) or "
+        "vectorised columnar arrays (--engine vector implies columnar)",
+    )
     q.add_argument("--optimize", action="store_true", help="apply rewrites first")
     q.add_argument(
         "--no-planner",
@@ -169,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument(
         "--store",
         help="optional store file anchoring the plan's statistics",
+    )
+    e.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="set",
+        help="with --physical: compile for this execution backend",
     )
     e.set_defaults(func=_cmd_explain)
 

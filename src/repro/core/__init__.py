@@ -33,7 +33,15 @@ from repro.core.builder import (
     universe_as_joins,
 )
 from repro.core.conditions import Cond, as_conditions, eta, parse_conditions, theta
-from repro.core.engines import Engine, FastEngine, HashJoinEngine, NaiveEngine, TripleSet
+from repro.core.engines import (
+    ENGINE_REGISTRY,
+    Engine,
+    FastEngine,
+    HashJoinEngine,
+    NaiveEngine,
+    TripleSet,
+    VectorEngine,
+)
 from repro.core.expressions import (
     Diff,
     Expr,
@@ -74,6 +82,7 @@ __all__ = [
     "Cond",
     "Const",
     "Diff",
+    "ENGINE_REGISTRY",
     "Engine",
     "Expr",
     "FastEngine",
@@ -90,6 +99,7 @@ __all__ = [
     "Triplestore",
     "Union",
     "Universe",
+    "VectorEngine",
     "as_conditions",
     "complement",
     "diagonal",

@@ -4,5 +4,22 @@ from repro.core.engines.base import Engine, TripleSet
 from repro.core.engines.fast import FastEngine
 from repro.core.engines.hashjoin import HashJoinEngine
 from repro.core.engines.naive import NaiveEngine
+from repro.core.engines.vectorized import VectorEngine
 
-__all__ = ["Engine", "FastEngine", "HashJoinEngine", "NaiveEngine", "TripleSet"]
+#: Name → class registry, shared by the CLI and the differential harness.
+ENGINE_REGISTRY: dict[str, type[Engine]] = {
+    "naive": NaiveEngine,
+    "hash": HashJoinEngine,
+    "fast": FastEngine,
+    "vector": VectorEngine,
+}
+
+__all__ = [
+    "ENGINE_REGISTRY",
+    "Engine",
+    "FastEngine",
+    "HashJoinEngine",
+    "NaiveEngine",
+    "TripleSet",
+    "VectorEngine",
+]

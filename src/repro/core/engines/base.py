@@ -40,6 +40,11 @@ class Engine(ABC):
         limit (default 400) instead of silently exhausting memory.
     """
 
+    #: Which storage representation the engine executes over: ``"set"``
+    #: (Python sets of tuples) or ``"columnar"`` (packed numpy arrays).
+    #: The :class:`~repro.db.Database` facade keys its plan cache on it.
+    backend = "set"
+
     def __init__(self, max_universe_objects: int = 400) -> None:
         self.max_universe_objects = max_universe_objects
 

@@ -1,0 +1,573 @@
+"""Vectorised columnar execution of compiled physical plans.
+
+:class:`VectorEngine` is the library's third planner-seam backend: it
+executes the *same* physical operator trees produced by
+:func:`repro.core.plan.compile_plan` — no parallel interpreter — but over
+the array representation of the store (:class:`~repro.triplestore.columnar.ColumnarStore`)
+instead of Python sets of tuples:
+
+* intermediate relations are sorted unique ``int64`` *packed-key* arrays
+  (``(s·n + p)·n + o``), so union/difference/intersection are sorted
+  merges (``np.union1d`` and friends);
+* hash joins lower to ``np.searchsorted`` merge joins on composite
+  integer keys built from the cross equalities (θ keys compare object
+  codes, η keys compare dictionary-encoded ρ-codes);
+* selections and residual filters evaluate conditions as whole-column
+  boolean masks;
+* general Kleene stars run the same semi-naive fixpoint as
+  :class:`~repro.core.plan.StarOp`, one vectorised join per round;
+* reach-shaped stars (:class:`~repro.core.plan.ReachStarOp`) use
+  semi-naive *boolean matrix* iteration over the ``|O|×|O|`` adjacency
+  matrix — the array representation the paper's Section 5 cost model is
+  stated over — when the density/size heuristic of
+  :func:`repro.core.plan.lower_plan` picked the dense strategy, and
+  per-source BFS otherwise.  The dense path re-checks the object-count
+  guard against the actual store at run time and falls back to sparse on
+  :class:`~repro.errors.MatrixTooLargeError`.
+
+Cross-backend agreement with the set executors (and the NaiveEngine
+oracle) is enforced by the randomized differential harness in
+``tests/diffcheck.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import EvaluationBudgetError, MatrixTooLargeError
+from repro.core.conditions import Cond
+from repro.core.expressions import (
+    REACH_COND_ANY,
+    REACH_COND_SAME_LABEL,
+    REACH_OUT,
+    RIGHT,
+    Expr,
+)
+from repro.core.engines.base import TripleSet
+from repro.core.engines.hashjoin import HashJoinEngine
+from repro.core.plan import (
+    DENSE_MATRIX_MAX_OBJECTS,
+    DiffOp,
+    FilterOp,
+    HashJoinOp,
+    IndexLookupOp,
+    IntersectOp,
+    JoinSpec,
+    PlanOp,
+    ReachStarOp,
+    ScanOp,
+    StarOp,
+    UnionOp,
+    UniverseOp,
+    compile_plan,
+)
+from repro.core.positions import Const
+from repro.triplestore.columnar import ColumnarStore, sorted_unique
+from repro.triplestore.model import Triplestore
+
+__all__ = ["VectorEngine", "VectorExecContext"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+# --------------------------------------------------------------------- #
+# Sorted-array set algebra
+#
+# Every intermediate result is a sorted unique key array (see
+# columnar.sorted_unique), so the set operations are plain merges —
+# np.union1d/setdiff1d are avoided for the same hash-table reason.
+# --------------------------------------------------------------------- #
+
+
+def _member_mask(keys: np.ndarray, within: np.ndarray) -> np.ndarray:
+    """Boolean mask: which of ``keys`` occur in sorted-unique ``within``."""
+    if len(within) == 0:
+        return np.zeros(len(keys), dtype=bool)
+    idx = np.searchsorted(within, keys).clip(0, len(within) - 1)
+    return within[idx] == keys
+
+
+def _union_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if len(a) == 0:
+        return b
+    if len(b) == 0:
+        return a
+    return sorted_unique(np.concatenate((a, b)))
+
+
+def _diff_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if len(a) == 0 or len(b) == 0:
+        return a
+    return a[~_member_mask(a, b)]
+
+
+def _intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if len(a) == 0 or len(b) == 0:
+        return _EMPTY
+    return a[_member_mask(a, b)]
+
+
+# --------------------------------------------------------------------- #
+# Vectorised condition evaluation
+# --------------------------------------------------------------------- #
+
+
+def _local_mask(cs: ColumnarStore, conds: tuple[Cond, ...], cols: np.ndarray) -> np.ndarray:
+    """Boolean mask of one operand's rows satisfying all ``conds``.
+
+    Positions are taken modulo 3, so the same helper serves selection
+    conditions (0..2) and right-local join conditions (3..5).
+    """
+    mask = np.ones(len(cols), dtype=bool)
+    for cond in conds:
+        if isinstance(cond.left, Const) and isinstance(cond.right, Const):
+            # Constant-only: a static boolean over raw values (the code
+            # sentinel for unknown constants must not make them compare
+            # equal to each other).
+            if not cond.evaluate((None,) * 3, None, lambda o: o):
+                mask[:] = False
+            continue
+        lv = _resolve_local(cs, cond, cond.left, cols)
+        rv = _resolve_local(cs, cond, cond.right, cols)
+        mask &= (lv == rv) if cond.is_equality else (lv != rv)
+    return mask
+
+
+def _resolve_local(cs: ColumnarStore, cond: Cond, term, cols: np.ndarray):
+    """One term of a single-operand condition as a code column or scalar."""
+    if isinstance(term, Const):
+        # θ constants encode as object codes, η constants as data-value
+        # codes; unknown constants get the -1 sentinel, which no stored
+        # code equals (codes are non-negative).
+        return cs.dv_code_of(term.value) if cond.on_data else cs.code_of(term.value)
+    col = cols[:, term.index % 3]
+    return cs.dv_codes[col] if cond.on_data else col
+
+
+def _pair_mask(
+    cs: ColumnarStore,
+    conds: tuple[Cond, ...],
+    lcols: np.ndarray,
+    li: np.ndarray,
+    rcols: np.ndarray,
+    ri: np.ndarray,
+) -> np.ndarray:
+    """Mask over matched (left, right) row-index pairs (cross inequalities).
+
+    Gathers only the columns the conditions mention, not whole triples.
+    """
+    mask = np.ones(len(li), dtype=bool)
+    for cond in conds:
+        lv = _resolve_pair(cs, cond, cond.left, lcols, li, rcols, ri)
+        rv = _resolve_pair(cs, cond, cond.right, lcols, li, rcols, ri)
+        mask &= (lv == rv) if cond.is_equality else (lv != rv)
+    return mask
+
+
+def _resolve_pair(cs: ColumnarStore, cond: Cond, term, lcols, li, rcols, ri):
+    if isinstance(term, Const):  # pragma: no cover — cross conds are Pos-Pos
+        return cs.dv_code_of(term.value) if cond.on_data else cs.code_of(term.value)
+    if term.index < 3:
+        col = lcols[:, term.index][li]
+    else:
+        col = rcols[:, term.index - 3][ri]
+    return cs.dv_codes[col] if cond.on_data else col
+
+
+# --------------------------------------------------------------------- #
+# The merge join
+# --------------------------------------------------------------------- #
+
+
+#: Composite join keys are folded radix-by-radix; past this magnitude the
+#: next fold could overflow int64, so keys are first compressed to dense
+#: ranks (which preserves cross-side equality exactly).
+_MAX_COMPOSITE_KEY = 2**62
+
+
+def _join_keys(
+    cs: ColumnarStore, spec: JoinSpec, lcols: np.ndarray, rcols: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Composite integer join keys for both operands (one per cross eq)."""
+    lkey = np.zeros(len(lcols), dtype=np.int64)
+    rkey = np.zeros(len(rcols), dtype=np.int64)
+    key_range = 1
+    for cond in spec.cross_eq:
+        lcomp = lcols[:, cond.left.index]
+        rcomp = rcols[:, cond.right.index - 3]
+        if cond.on_data:
+            lcomp = cs.dv_codes[lcomp]
+            rcomp = cs.dv_codes[rcomp]
+            radix = max(cs.n_data_values, 1)
+        else:
+            radix = max(cs.n, 1)
+        if key_range > _MAX_COMPOSITE_KEY // radix:
+            # Re-rank the partial keys densely over both sides before
+            # folding in the next component (many cross equalities over a
+            # huge universe would otherwise wrap int64 and silently match
+            # unrelated rows).
+            ranks = sorted_unique(np.concatenate((lkey, rkey)))
+            lkey = np.searchsorted(ranks, lkey)
+            rkey = np.searchsorted(ranks, rkey)
+            key_range = len(ranks)
+        lkey = lkey * radix + lcomp
+        rkey = rkey * radix + rcomp
+        key_range *= radix
+    return lkey, rkey
+
+
+def _merge_join(
+    cs: ColumnarStore, spec: JoinSpec, lcols: np.ndarray, rcols: np.ndarray
+) -> np.ndarray:
+    """Join two pre-filtered operand column blocks; packed-key output.
+
+    With cross equalities this is a sort/searchsorted merge join; without
+    them it is the cartesian product the algebra demands.  Cross
+    inequalities are applied as a mask over the matched pairs, and the
+    output spec's projection is a vectorised gather.
+    """
+    n_left, n_right = len(lcols), len(rcols)
+    if n_left == 0 or n_right == 0:
+        return _EMPTY
+    if spec.cross_eq:
+        lkey, rkey = _join_keys(cs, spec, lcols, rcols)
+        order = np.argsort(rkey, kind="stable")
+        sorted_rkey = rkey[order]
+        lo = np.searchsorted(sorted_rkey, lkey, side="left")
+        hi = np.searchsorted(sorted_rkey, lkey, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            return _EMPTY
+        li = np.repeat(np.arange(n_left), counts)
+        offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        ri = order[np.repeat(lo, counts) + offsets]
+    else:
+        li = np.repeat(np.arange(n_left), n_right)
+        ri = np.tile(np.arange(n_right), n_left)
+    if spec.cross_neq:
+        mask = _pair_mask(cs, spec.cross_neq, lcols, li, rcols, ri)
+        li, ri = li[mask], ri[mask]
+        if len(li) == 0:
+            return _EMPTY
+    # Pack the projection directly from per-column gathers — no (M, 3)
+    # intermediate; this is the join's hot path.
+    i, j, k = spec.out
+    a = lcols[:, i][li] if i < 3 else rcols[:, i - 3][ri]
+    b = lcols[:, j][li] if j < 3 else rcols[:, j - 3][ri]
+    c = lcols[:, k][li] if k < 3 else rcols[:, k - 3][ri]
+    n = cs.n
+    return sorted_unique((a * n + b) * n + c)
+
+
+#: Same-label reach stars build one dense matrix per distinct label; above
+#: this many labels the semi-naive fixpoint wins regardless of density.
+_MAX_DENSE_LABELS = 8
+
+#: Compile-time join specs of the two Proposition 5 star shapes.
+_REACH_SPEC_ANY = JoinSpec(REACH_OUT, REACH_COND_ANY)
+_REACH_SPEC_SAME = JoinSpec(REACH_OUT, REACH_COND_SAME_LABEL)
+
+
+def _bool_closure(adjacency: np.ndarray) -> np.ndarray:
+    """Reflexive-transitive closure of a boolean adjacency matrix.
+
+    Semi-naive over matrix *squaring*: each round doubles the path
+    length covered, so the loop runs O(log diameter) boolean matmuls.
+    """
+    closure = adjacency | np.eye(len(adjacency), dtype=bool)
+    while True:
+        # float32 keeps the matmul on the BLAS fast path and is exact
+        # here: each product entry counts path witnesses, at most n ≤ 512
+        # (a uint8 accumulator would wrap at 256 and drop reachable
+        # pairs whose witness count is a multiple of 256).
+        step = closure.astype(np.float32)
+        grown = closure | ((step @ step) > 0)
+        if np.array_equal(grown, closure):
+            return closure
+        closure = grown
+
+
+# --------------------------------------------------------------------- #
+# Execution context
+# --------------------------------------------------------------------- #
+
+
+class VectorExecContext:
+    """Columnar twin of :class:`repro.core.plan.ExecContext`.
+
+    Holds the store's columnar view, the budgets and the operator memo;
+    every operator result is a sorted unique packed-key array.
+    """
+
+    __slots__ = ("store", "cs", "rho", "max_universe_objects", "max_matrix_objects", "_memo")
+
+    def __init__(
+        self,
+        store: Triplestore,
+        max_universe_objects: int = 400,
+        max_matrix_objects: int = DENSE_MATRIX_MAX_OBJECTS,
+    ) -> None:
+        self.store = store
+        self.cs = store.columnar()
+        self.rho = store.rho
+        self.max_universe_objects = max_universe_objects
+        self.max_matrix_objects = max_matrix_objects
+        self._memo: dict[int, np.ndarray] = {}
+
+    # -- entry points --------------------------------------------------- #
+
+    def execute(self, plan: PlanOp) -> TripleSet:
+        """Run a plan and decode the result back to object triples."""
+        return self.cs.decode_triples(self.run(plan))
+
+    def run(self, op: PlanOp) -> np.ndarray:
+        """Execute ``op`` (memoised — shared sub-plans run once)."""
+        result = self._memo.get(id(op))
+        if result is None:
+            result = self._dispatch(op)
+            self._memo[id(op)] = result
+        return result
+
+    # -- operator dispatch ---------------------------------------------- #
+
+    def _dispatch(self, op: PlanOp) -> np.ndarray:
+        if isinstance(op, ScanOp):
+            return self.cs.relation_keys(op.name)
+        if isinstance(op, IndexLookupOp):
+            return self._index_lookup(op)
+        if isinstance(op, FilterOp):
+            return self._filter(op)
+        if isinstance(op, UnionOp):
+            return _union_sorted(self.run(op.left), self.run(op.right))
+        if isinstance(op, DiffOp):
+            return _diff_sorted(self.run(op.left), self.run(op.right))
+        if isinstance(op, IntersectOp):
+            return _intersect_sorted(self.run(op.left), self.run(op.right))
+        if isinstance(op, HashJoinOp):
+            return self._join(op)
+        if isinstance(op, StarOp):
+            return self._star(op)
+        if isinstance(op, ReachStarOp):
+            return self._reach_star(op)
+        if isinstance(op, UniverseOp):
+            return self._universe()
+        raise NotImplementedError(  # pragma: no cover — all ops covered
+            f"no columnar execution for {type(op).__name__}"
+        )
+
+    def _index_lookup(self, op: IndexLookupOp) -> np.ndarray:
+        cs = self.cs
+        keys = cs.relation_keys(op.name)
+        cols = cs.relation_columns(op.name)
+        mask = np.ones(len(cols), dtype=bool)
+        for pos, value in zip(op.positions, op.key):
+            mask &= cols[:, pos] == cs.code_of(value)
+        if op.residual:
+            mask &= _local_mask(cs, op.residual, cols)
+        return keys[mask]
+
+    def _filter(self, op: FilterOp) -> np.ndarray:
+        keys = self.run(op.child)
+        cols = self.cs.unpack(keys)
+        return keys[_local_mask(self.cs, op.conditions, cols)]
+
+    def _join(self, op: HashJoinOp) -> np.ndarray:
+        cs = self.cs
+        spec = op.spec
+        # Children run before the constant gate is consulted, mirroring
+        # HashJoinOp._execute — a closed gate must not suppress a child's
+        # budget error, or the backends would disagree on when they raise.
+        left = self.run(op.left)
+        right = self.run(op.right)
+        if not spec.gate_open(self.rho):
+            return _EMPTY
+        lcols = cs.unpack(left)
+        rcols = cs.unpack(right)
+        if spec.left_local:
+            lcols = lcols[_local_mask(cs, spec.left_local, lcols)]
+        if spec.right_local:
+            rcols = rcols[_local_mask(cs, spec.right_local, rcols)]
+        return _merge_join(cs, spec, lcols, rcols)
+
+    def _star(self, op: StarOp) -> np.ndarray:
+        cs = self.cs
+        spec = op.spec
+        base = self.run(op.child)
+        if not spec.gate_open(self.rho):
+            return base
+        base_cols = cs.unpack(base)
+        # The constant operand's local filter is applied once, outside
+        # the loop — the columnar analogue of StarOp's hoisted index.
+        const_local = spec.right_local if op.side == RIGHT else spec.left_local
+        const_cols = base_cols
+        if const_local:
+            const_cols = base_cols[_local_mask(cs, const_local, base_cols)]
+        varying_local = spec.left_local if op.side == RIGHT else spec.right_local
+        acc = base
+        frontier = base
+        while frontier.size:
+            varying = cs.unpack(frontier)
+            if varying_local:
+                varying = varying[_local_mask(cs, varying_local, varying)]
+            if op.side == RIGHT:
+                produced = _merge_join(cs, spec, varying, const_cols)
+            else:
+                produced = _merge_join(cs, spec, const_cols, varying)
+            frontier = _diff_sorted(produced, acc)
+            acc = _union_sorted(acc, frontier)
+        return acc
+
+    # -- reachability stars --------------------------------------------- #
+
+    def _reach_star(self, op: ReachStarOp) -> np.ndarray:
+        base = self.run(op.child)
+        if base.size == 0:
+            return base
+        strategy = op.vector_strategy
+        if strategy is None:
+            # Plan compiled without columnar lowering (e.g. by a set
+            # engine): decide here, against the actual store.
+            n = self.cs.n
+            dense_ok = 0 < n <= self.max_matrix_objects
+            strategy = "dense" if dense_ok else "sparse"
+        if strategy == "dense" and op.same_label:
+            # One adjacency matrix *per label*: only worth it when the
+            # labels are few — a store with many sparse labels pays the
+            # per-matrix overhead hundreds of times for tiny graphs.
+            labels = sorted_unique(self.cs.unpack(base)[:, 1])
+            if len(labels) > _MAX_DENSE_LABELS:
+                strategy = "sparse"
+        if strategy == "dense":
+            try:
+                return self._reach_dense(base, op.same_label)
+            except MatrixTooLargeError:
+                # The plan was lowered against a smaller store (plans are
+                # cached per expression and reused across stores); fall
+                # back to the sparse strategy rather than refuse.
+                pass
+        return self._reach_sparse(base, op.same_label)
+
+    def _reach_dense(self, keys: np.ndarray, same_label: bool) -> np.ndarray:
+        cs = self.cs
+        cols = cs.unpack(keys)
+        if not same_label:
+            return self._reach_dense_emit(cols)
+        parts = [
+            self._reach_dense_emit(cols[cols[:, 1] == label])
+            for label in sorted_unique(cols[:, 1])
+        ]
+        return sorted_unique(np.concatenate(parts)) if parts else keys
+
+    def _reach_dense_emit(self, cols: np.ndarray) -> np.ndarray:
+        """Closure of one adjacency matrix, attached to its base triples.
+
+        The matrix is built over the *compacted* node set of these
+        triples' endpoints (for the same-label variant that is one
+        label's sub-graph), so sparse labels get tiny matrices; the
+        object-count guard applies to the compacted size.
+        """
+        cs = self.cs
+        nodes = sorted_unique(np.concatenate((cols[:, 0], cols[:, 2])))
+        m = len(nodes)
+        if m > self.max_matrix_objects:
+            raise MatrixTooLargeError(m, self.max_matrix_objects, what="reachability matrix")
+        sources = np.searchsorted(nodes, cols[:, 0])
+        targets = np.searchsorted(nodes, cols[:, 2])
+        adjacency = np.zeros((m, m), dtype=bool)
+        adjacency[sources, targets] = True
+        closure = _bool_closure(adjacency)
+        reach_rows = closure[targets]  # row i: nodes reachable from o_i
+        row_idx, target_local = np.nonzero(reach_rows)
+        n = cs.n
+        return sorted_unique(
+            (cols[:, 0][row_idx] * n + cols[:, 1][row_idx]) * n + nodes[target_local]
+        )
+
+    def _reach_sparse(self, keys: np.ndarray, same_label: bool) -> np.ndarray:
+        """Sparse reach strategy: the semi-naive columnar join fixpoint.
+
+        Proposition 5's reach stars are ordinary right stars with a fixed
+        shape, so the generic vectorised fixpoint applies verbatim —
+        rounds are bounded by the graph diameter, each one a merge join.
+        """
+        cs = self.cs
+        spec = _REACH_SPEC_SAME if same_label else _REACH_SPEC_ANY
+        base_cols = cs.unpack(keys)
+        acc = keys
+        frontier = keys
+        while frontier.size:
+            produced = _merge_join(cs, spec, cs.unpack(frontier), base_cols)
+            frontier = _diff_sorted(produced, acc)
+            acc = _union_sorted(acc, frontier)
+        return acc
+
+    # -- the universal relation ----------------------------------------- #
+
+    def _universe(self) -> np.ndarray:
+        cs = self.cs
+        active = cs.active_codes()
+        if len(active) > self.max_universe_objects:
+            raise EvaluationBudgetError(
+                f"universal relation over {len(active)} objects would hold "
+                f"{len(active) ** 3} triples (limit {self.max_universe_objects} objects); "
+                "raise max_universe_objects to proceed"
+            )
+        n = cs.n
+        pairs = (active[:, None] * n + active[None, :]).reshape(-1)
+        return (pairs[:, None] * n + active[None, :]).reshape(-1)
+
+
+# --------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------- #
+
+
+class VectorEngine(HashJoinEngine):
+    """Vectorised columnar executor — same plans, array-at-a-time runtime.
+
+    Parameters
+    ----------
+    max_universe_objects:
+        See :class:`~repro.core.engines.base.Engine`.
+    use_planner:
+        When True (default) expressions run as vectorised physical plans;
+        ``use_planner=False`` falls back to the set-based legacy
+        interpreter inherited from :class:`HashJoinEngine` (there is no
+        tuple-at-a-time "legacy" columnar path — the planner seam *is*
+        the columnar entry point).
+    max_matrix_objects:
+        Object-count guard for the dense boolean-matrix reachability
+        strategy; above it the sparse per-source BFS runs instead.
+    """
+
+    plans_reach_stars = True
+    backend = "columnar"
+
+    def __init__(
+        self,
+        max_universe_objects: int = 400,
+        use_planner: bool = True,
+        max_matrix_objects: int = DENSE_MATRIX_MAX_OBJECTS,
+    ) -> None:
+        super().__init__(max_universe_objects, use_planner=use_planner)
+        self.max_matrix_objects = max_matrix_objects
+
+    def compile(self, expr: Expr, store: Optional[Triplestore] = None) -> PlanOp:
+        """Compile with the columnar lowering step applied."""
+        return compile_plan(
+            expr,
+            store,
+            use_reach=self.plans_reach_stars,
+            backend="columnar",
+            max_matrix_objects=self.max_matrix_objects,
+        )
+
+    def execute_plan(self, plan: PlanOp, store: Triplestore) -> TripleSet:
+        """Run a compiled plan over the store's columnar view."""
+        ctx = VectorExecContext(
+            store, self.max_universe_objects, self.max_matrix_objects
+        )
+        return ctx.execute(plan)

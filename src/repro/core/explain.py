@@ -129,7 +129,7 @@ def explain(expr: Expr) -> Explanation:
     )
 
 
-def explain_physical(expr: Expr, store=None, engine=None) -> str:
+def explain_physical(expr: Expr, store=None, engine=None, backend=None) -> str:
     """The physical plan (with cost estimates) for one expression.
 
     ``store`` anchors cardinality estimates in real statistics; without
@@ -137,11 +137,20 @@ def explain_physical(expr: Expr, store=None, engine=None) -> str:
     ``engine`` may be an :class:`~repro.core.engines.base.Engine`
     instance or ``None`` (the recommended engine's compilation is used:
     reach-star routing exactly when the static analysis recommends
-    FastEngine).
+    FastEngine).  ``backend="columnar"`` compiles through the vectorised
+    engine's lowering step (recursive operators show their dense/sparse
+    representation choice) when no engine is given, and adds a backend
+    line to the header.
     """
     from repro.core.plan import compile_plan
 
     report = explain(expr)
+    if engine is None and backend == "columnar":
+        from repro.core.engines.vectorized import VectorEngine
+
+        engine = VectorEngine()
+    if backend is None:
+        backend = getattr(engine, "backend", None)
     compiler = getattr(engine, "compile", None)
     if compiler is not None:
         plan = compiler(expr, store)
@@ -164,6 +173,10 @@ def explain_physical(expr: Expr, store=None, engine=None) -> str:
         f"expression : {report.expression}",
         f"fragment   : {report.fragment}",
         f"compiled by: {compiled_by}",
+    ]
+    if backend == "columnar":
+        lines.append("backend    : columnar (vectorised packed-array execution)")
+    lines += [
         "statistics : "
         + (
             f"store with |T|={len(store)}, |O|={store.n_objects}"

@@ -68,6 +68,7 @@ __all__ = [
     "ExecContext",
     "JoinSpec",
     "compile_plan",
+    "lower_plan",
     "split_conditions",
 ]
 
@@ -79,6 +80,13 @@ _EQ_SELECTIVITY = 0.1
 _NEQ_SELECTIVITY = 0.9
 #: Assumed number of semi-naive rounds for a generic star's cost.
 _STAR_ROUNDS = 4.0
+
+#: Columnar lowering: object-count guard for dense boolean matrices
+#: (mirrors MatrixStore.DEFAULT_MAX_OBJECTS without importing numpy here).
+DENSE_MATRIX_MAX_OBJECTS = 512
+#: Columnar lowering: minimum average out-degree |T|/|O| for the dense
+#: reachability representation to pay off over per-source sparse BFS.
+_DENSE_MIN_AVG_DEGREE = 0.5
 
 
 def _project_out(left: Triple, right: Triple, out: tuple[int, int, int]) -> Triple:
@@ -614,7 +622,7 @@ class StarOp(PlanOp):
     legacy interpreter on recursive queries.
     """
 
-    __slots__ = ("child", "spec", "side")
+    __slots__ = ("child", "spec", "side", "vector_strategy")
 
     def __init__(
         self,
@@ -628,6 +636,8 @@ class StarOp(PlanOp):
         self.child = child
         self.spec = spec
         self.side = side
+        #: Set by the columnar lowering step; ignored by the set backend.
+        self.vector_strategy: Optional[str] = None
 
     def children(self) -> tuple[PlanOp, ...]:
         return (self.child,)
@@ -669,13 +679,14 @@ class StarOp(PlanOp):
         conds = _fmt_conds(self.spec.conditions)
         sep = "; " if conds else ""
         name = "Star" if self.side == RIGHT else "LeftStar"
-        return f"{name}[{format_out_spec(self.spec.out)}{sep}{conds}] semi-naive"
+        hint = f" [{self.vector_strategy}]" if self.vector_strategy else ""
+        return f"{name}[{format_out_spec(self.spec.out)}{sep}{conds}] semi-naive{hint}"
 
 
 class ReachStarOp(PlanOp):
     """Proposition 4/5 BFS reachability for the two reachTA= star shapes."""
 
-    __slots__ = ("child", "same_label")
+    __slots__ = ("child", "same_label", "vector_strategy")
 
     def __init__(
         self, child: PlanOp, same_label: bool, est_rows: float, est_cost: float
@@ -683,6 +694,8 @@ class ReachStarOp(PlanOp):
         super().__init__(est_rows, est_cost)
         self.child = child
         self.same_label = same_label
+        #: Set by the columnar lowering step; ignored by the set backend.
+        self.vector_strategy: Optional[str] = None
 
     def children(self) -> tuple[PlanOp, ...]:
         return (self.child,)
@@ -700,7 +713,8 @@ class ReachStarOp(PlanOp):
 
     def label(self) -> str:
         variant = "same-label" if self.same_label else "any-path"
-        return f"ReachStar({variant} BFS)"
+        hint = f" [{self.vector_strategy}]" if self.vector_strategy else ""
+        return f"ReachStar({variant} BFS){hint}"
 
 
 # --------------------------------------------------------------------- #
@@ -714,6 +728,8 @@ def compile_plan(
     *,
     use_reach: bool = True,
     stats=None,
+    backend: str = "set",
+    max_matrix_objects: Optional[int] = None,
 ) -> PlanOp:
     """Compile a (preferably optimised) expression into a physical plan.
 
@@ -723,6 +739,12 @@ def compile_plan(
     reach-shaped stars to the Proposition 4/5 BFS operators — the
     FastEngine behaviour; the plain hash-join engine keeps the generic
     fixpoint for them.
+
+    ``backend`` selects the lowering step applied after compilation:
+    ``"set"`` (the tuple-at-a-time executors) leaves the plan as built,
+    ``"columnar"`` runs :func:`lower_plan` to annotate recursive
+    operators with a dense/sparse representation choice for the
+    vectorised backend.
     """
     if stats is None:
         stats = store.stats() if store is not None else DEFAULT_STATS
@@ -736,7 +758,59 @@ def compile_plan(
         memo[e] = op
         return op
 
-    return compile_node(expr)
+    return lower_plan(
+        compile_node(expr),
+        stats,
+        backend=backend,
+        max_matrix_objects=max_matrix_objects,
+    )
+
+
+def lower_plan(
+    plan: PlanOp,
+    stats=None,
+    *,
+    backend: str = "set",
+    max_matrix_objects: Optional[int] = None,
+) -> PlanOp:
+    """Backend-aware lowering: specialise a compiled plan for a backend.
+
+    The physical plan itself is backend-agnostic (execution resolves
+    relations against whatever store it is handed); what differs per
+    backend is the *representation strategy* of the recursive operators.
+    For the columnar backend this step annotates each star with the
+    density/size heuristic's verdict:
+
+    * ``ReachStarOp`` — ``"dense"`` when the statistics-time object count
+      fits the boolean-matrix guard (``max_matrix_objects``, default
+      :data:`DENSE_MATRIX_MAX_OBJECTS`) *and* the average out-degree
+      ``|T|/|O|`` reaches :data:`_DENSE_MIN_AVG_DEGREE` — reachability is
+      then semi-naive boolean matrix iteration; otherwise ``"sparse"``
+      (per-source BFS).  The dense path re-checks the guard against the
+      *actual* store at run time and falls back to sparse on
+      :class:`~repro.errors.MatrixTooLargeError`, so the annotation is a
+      strategy hint, never a correctness assumption.
+    * ``StarOp`` — always ``"sparse"``: general stars carry arbitrary
+      output specs and conditions, executed as semi-naive columnar joins.
+
+    The ``"set"`` backend lowering is the identity.
+    """
+    if backend == "set":
+        return plan
+    if backend != "columnar":
+        raise AlgebraError(f"unknown execution backend {backend!r}")
+    if stats is None:
+        stats = DEFAULT_STATS
+    limit = DENSE_MATRIX_MAX_OBJECTS if max_matrix_objects is None else max_matrix_objects
+    n = stats.n_objects
+    total = stats.total_triples
+    dense_ok = 0 < n <= limit and total / n >= _DENSE_MIN_AVG_DEGREE
+    for op in plan.walk():
+        if isinstance(op, ReachStarOp):
+            op.vector_strategy = "dense" if dense_ok else "sparse"
+        elif isinstance(op, StarOp):
+            op.vector_strategy = "sparse"
+    return plan
 
 
 def _distinct_estimate(op: PlanOp, local_pos: int, stats) -> float:

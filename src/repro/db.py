@@ -22,6 +22,7 @@ recomputing.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Union as TypingUnion
@@ -29,6 +30,7 @@ from typing import Any, Callable, Iterable, Union as TypingUnion
 from repro.core import project13
 from repro.core.engines.base import Engine, TripleSet
 from repro.core.engines.fast import FastEngine
+from repro.core.engines.vectorized import VectorEngine
 from repro.core.expressions import Expr
 from repro.core.optimizer import optimize as optimize_expr
 from repro.core.parser import parse as parse_expr
@@ -36,9 +38,18 @@ from repro.core.plan import ExecContext, PlanOp
 from repro.errors import EvaluationBudgetError, ReproError
 from repro.triplestore.model import Triple, Triplestore
 
-__all__ = ["CacheInfo", "Database"]
+__all__ = ["BACKENDS", "CacheInfo", "Database"]
 
 Query = TypingUnion[Expr, str]
+
+#: Execution backends a session can run on: ``"set"`` executes plans
+#: tuple-at-a-time over Python sets (HashJoin/Fast engines), ``"columnar"``
+#: array-at-a-time over the store's packed numpy encoding (VectorEngine).
+BACKENDS = ("set", "columnar")
+
+#: Environment override for the default backend (used by CI to run the
+#: whole suite on the columnar executor: ``REPRO_BACKEND=columnar``).
+_BACKEND_ENV = "REPRO_BACKEND"
 
 
 @dataclass(frozen=True)
@@ -94,9 +105,17 @@ class Database:
     store:
         The triplestore to query.
     engine:
-        Any :class:`~repro.core.engines.base.Engine`; defaults to a
-        :class:`~repro.core.engines.fast.FastEngine` (planner on,
-        Proposition 4/5 reach operators enabled).
+        Any :class:`~repro.core.engines.base.Engine`; defaults to the
+        ``backend``'s engine — a
+        :class:`~repro.core.engines.fast.FastEngine` for ``"set"``
+        (planner on, Proposition 4/5 reach operators enabled), a
+        :class:`~repro.core.engines.vectorized.VectorEngine` for
+        ``"columnar"``.
+    backend:
+        One of :data:`BACKENDS`.  ``None`` (default) means: the given
+        engine's backend if an engine was passed, else the
+        ``REPRO_BACKEND`` environment variable, else ``"set"``.  Plan and
+        result caches are keyed per backend.
     optimize:
         Apply the logical rewrites of :mod:`repro.core.optimizer` before
         planning (default True).
@@ -110,11 +129,33 @@ class Database:
         store: Triplestore,
         engine: Engine | None = None,
         *,
+        backend: str | None = None,
         optimize: bool = True,
         cache_size: int = 128,
     ) -> None:
+        if backend is None:
+            if engine is not None:
+                backend = getattr(engine, "backend", "set")
+            else:
+                backend = os.environ.get(_BACKEND_ENV, "set")
+        if backend not in BACKENDS:
+            raise ReproError(
+                f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+            )
+        if engine is None:
+            engine = VectorEngine() if backend == "columnar" else FastEngine()
+        elif getattr(engine, "backend", "set") != backend:
+            # An explicit engine/backend pair must agree — otherwise the
+            # repr, explain output and cache keys would all mislabel what
+            # actually executes.
+            raise ReproError(
+                f"engine {type(engine).__name__} runs the "
+                f"{getattr(engine, 'backend', 'set')!r} backend, not {backend!r}; "
+                "drop one of the two arguments"
+            )
         self.store = store
-        self.engine = engine if engine is not None else FastEngine()
+        self.engine = engine
+        self.backend = backend
         self.optimize = optimize
         self._results = _LRU(cache_size)
         self._plans = _LRU(cache_size)
@@ -184,21 +225,27 @@ class Database:
             from repro.core.plan import compile_plan
 
             return self._plans.get(
-                (expr, self._epoch), lambda: compile_plan(expr, self.store)
+                (expr, self._epoch, self.backend),
+                lambda: compile_plan(expr, self.store, backend=self.backend),
             )
-        return self._plans.get((expr, self._epoch), lambda: compiler(expr, self.store))
+        return self._plans.get(
+            (expr, self._epoch, self.backend), lambda: compiler(expr, self.store)
+        )
 
     def query(self, query: Query) -> TripleSet:
         """Evaluate a TriAL(*) expression (or its text syntax) — cached."""
         expr = self._coerce(query)
-        return self._results.get((expr, self._epoch), lambda: self._evaluate(expr))
+        return self._results.get(
+            (expr, self._epoch, self.backend), lambda: self._evaluate(expr)
+        )
 
     def _evaluate(self, expr: Expr) -> TripleSet:
         prepared = optimize_expr(expr) if self.optimize else expr
         use_planner = getattr(self.engine, "use_planner", False)
         if use_planner and hasattr(self.engine, "execute_plan"):
             plan = self._plans.get(
-                (prepared, self._epoch), lambda: self.engine.compile(prepared, self.store)
+                (prepared, self._epoch, self.backend),
+                lambda: self.engine.compile(prepared, self.store),
             )
             return self.engine.execute_plan(plan, self.store)
         return self.engine.evaluate(prepared, self.store)
@@ -213,7 +260,9 @@ class Database:
 
         expr = self.prepare(query)
         if physical:
-            return explain_physical(expr, self.store, engine=self.engine)
+            return explain_physical(
+                expr, self.store, engine=self.engine, backend=self.backend
+            )
         return explain(expr).summary()
 
     # ------------------------------------------------------------------ #
@@ -338,5 +387,5 @@ class Database:
         info = self._results.info()
         return (
             f"Database({self.store!r}, engine={type(self.engine).__name__}, "
-            f"cache={info.size}/{info.maxsize})"
+            f"backend={self.backend}, cache={info.size}/{info.maxsize})"
         )

@@ -26,6 +26,25 @@ class UnknownRelationError(TriplestoreError):
         super().__init__(f"unknown relation {name!r}{hint}")
 
 
+class MatrixTooLargeError(TriplestoreError):
+    """A dense matrix representation was refused by its object-count guard.
+
+    Dense (cubic or quadratic) array representations are refused above a
+    configurable object count instead of silently exhausting memory.  The
+    error carries the offending ``n_objects`` and the ``limit`` so callers
+    — notably the columnar backend's density heuristic — can catch it and
+    fall back to a sparse execution strategy.
+    """
+
+    def __init__(self, n_objects: int, limit: int, what: str = "matrix"):
+        self.n_objects = n_objects
+        self.limit = limit
+        super().__init__(
+            f"refusing to build a dense {what} representation over "
+            f"{n_objects} objects (limit {limit}); raise the limit to override"
+        )
+
+
 class AlgebraError(ReproError):
     """Malformed Triple Algebra expressions or conditions."""
 

@@ -1,11 +1,13 @@
 """Triplestore data model (Definition 1) and its array representation."""
 
+from repro.triplestore.columnar import ColumnarStore
 from repro.triplestore.io import dump, dump_path, dumps, load, load_path, loads
 from repro.triplestore.matrix import MatrixStore
 from repro.triplestore.model import DEFAULT_RELATION, Obj, Triple, Triplestore
 from repro.triplestore.stats import DEFAULT_STATS, RelationStats, TriplestoreStats
 
 __all__ = [
+    "ColumnarStore",
     "DEFAULT_RELATION",
     "DEFAULT_STATS",
     "MatrixStore",

@@ -1,0 +1,209 @@
+"""Array-backed ("columnar") representation of triplestores.
+
+The paper's complexity results are stated over array representations of a
+triplestore (Section 5's cubic matrices); :class:`MatrixStore` realises
+the dense cubic form verbatim.  This module is its *sparse* sibling and
+the storage layer of the vectorised execution backend
+(:mod:`repro.core.engines.vectorized`):
+
+* the object universe is sorted and dictionary-encoded to contiguous
+  integer codes (``objects[i]`` has code ``i``);
+* data values are dictionary-encoded the same way, with ``dv_codes``
+  mapping object codes to data-value codes (the array form of ρ — the
+  paper's ``DV`` array);
+* each relation is a deduplicated, lexicographically sorted ``(N, 3)``
+  ``int64`` column-triple array, equivalently a sorted 1-D array of
+  *packed keys* ``(s·n + p)·n + o``.
+
+Packed keys make relations totally ordered, so the set operations of the
+algebra become sorted-array merges (``np.union1d`` and friends) and hash
+joins become ``np.searchsorted`` merge joins — no Python-level loops over
+triples.  Everything here is derived data: a :class:`ColumnarStore` is a
+read-only view of an immutable :class:`Triplestore`, built lazily and
+cached on the store like its hash indexes and statistics
+(:meth:`Triplestore.columnar`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.errors import TriplestoreError
+from repro.triplestore.model import Obj, Triple, Triplestore
+
+__all__ = ["ColumnarStore", "sorted_unique"]
+
+#: Packed keys are ``(s·n + p)·n + o`` in int64; n³ must stay below 2^63.
+_MAX_ENCODABLE_OBJECTS = 2_097_151
+
+
+def sorted_unique(keys: np.ndarray) -> np.ndarray:
+    """Sort an int64 key array and drop duplicates.
+
+    The canonical form of every columnar relation and intermediate
+    result.  Deliberately *not* ``np.unique``: numpy ≥ 2.4 routes that
+    through a hash table which is an order of magnitude slower than
+    sort + mask on packed integer keys.
+    """
+    if len(keys) <= 1:
+        return keys
+    keys = np.sort(keys)
+    keep = np.empty(len(keys), dtype=bool)
+    keep[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+    return keys[keep]
+
+
+class ColumnarStore:
+    """Sorted integer-encoded column-triple view of a :class:`Triplestore`.
+
+    Attributes
+    ----------
+    objects:
+        The sorted object universe; code ``i`` denotes ``objects[i]``.
+    n:
+        ``len(objects)`` — the code range and the packing radix.
+    dv_values:
+        The sorted distinct data values; ``dv_codes[i]`` indexes into it.
+    dv_codes:
+        ``int64`` array of length ``n``: the data-value code of each
+        object code (the encoded ρ).
+    """
+
+    __slots__ = (
+        "objects",
+        "n",
+        "_code_of",
+        "_obj_array",
+        "dv_values",
+        "dv_codes",
+        "_dv_code_of",
+        "_relations",
+        "_columns",
+        "_active",
+    )
+
+    def __init__(self, store: Triplestore) -> None:
+        objs = sorted(store.objects, key=repr)
+        if len(objs) > _MAX_ENCODABLE_OBJECTS:
+            raise TriplestoreError(
+                f"cannot pack triples over {len(objs)} objects into int64 keys "
+                f"(limit {_MAX_ENCODABLE_OBJECTS})"
+            )
+        self.objects: list[Obj] = objs
+        self.n: int = len(objs)
+        self._code_of: dict[Obj, int] = {o: i for i, o in enumerate(objs)}
+        # An object-dtype array for vectorised decoding (code → object).
+        self._obj_array = np.empty(len(objs), dtype=object)
+        self._obj_array[:] = objs
+
+        values = sorted({store.rho(o) for o in objs}, key=repr)
+        self.dv_values: list[Any] = values
+        self._dv_code_of: dict[Any, int] = {v: i for i, v in enumerate(values)}
+        self.dv_codes = np.array(
+            [self._dv_code_of[store.rho(o)] for o in objs], dtype=np.int64
+        )
+
+        self._relations: dict[str, np.ndarray] = {}
+        for name in store.relation_names:
+            self._relations[name] = self.encode_triples(store.relation(name))
+        self._columns: dict[str, np.ndarray] = {}
+        self._active: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Encoding and decoding
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_data_values(self) -> int:
+        """Number of distinct data values (the η-key radix)."""
+        return len(self.dv_values)
+
+    def code_of(self, obj: Obj, default: int = -1) -> int:
+        """The integer code of ``obj`` (``default`` when absent)."""
+        return self._code_of.get(obj, default)
+
+    def dv_code_of(self, value: Any, default: int = -1) -> int:
+        """The integer code of a data value (``default`` when absent)."""
+        return self._dv_code_of.get(value, default)
+
+    def pack(self, columns: np.ndarray) -> np.ndarray:
+        """Pack an ``(N, 3)`` code array into 1-D int64 keys."""
+        n = self.n
+        return (columns[:, 0] * n + columns[:, 1]) * n + columns[:, 2]
+
+    def unpack(self, keys: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`pack`: keys back into ``(N, 3)`` code columns."""
+        n = self.n
+        out = np.empty((len(keys), 3), dtype=np.int64)
+        out[:, 2] = keys % n
+        rest = keys // n
+        out[:, 1] = rest % n
+        out[:, 0] = rest // n
+        return out
+
+    def encode_triples(self, triples: Iterable[Triple]) -> np.ndarray:
+        """Encode object triples into a sorted unique packed-key array.
+
+        Every object must belong to the store's universe — results of
+        TriAL expressions always do (the closure property).
+        """
+        code = self._code_of
+        flat = [code[c] for t in triples for c in t]
+        if not flat:
+            return np.empty(0, dtype=np.int64)
+        columns = np.array(flat, dtype=np.int64).reshape(-1, 3)
+        return sorted_unique(self.pack(columns))
+
+    def decode_triples(self, keys: np.ndarray) -> frozenset[Triple]:
+        """Decode a packed-key array back into a set of object triples."""
+        columns = self.unpack(keys)
+        arr = self._obj_array
+        return frozenset(
+            zip(
+                arr[columns[:, 0]].tolist(),
+                arr[columns[:, 1]].tolist(),
+                arr[columns[:, 2]].tolist(),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Relations
+    # ------------------------------------------------------------------ #
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def relation_keys(self, name: str) -> np.ndarray:
+        """Relation ``name`` as a sorted unique packed-key array."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            from repro.errors import UnknownRelationError
+
+            raise UnknownRelationError(name, self.relation_names) from None
+
+    def relation_columns(self, name: str) -> np.ndarray:
+        """Relation ``name`` as an ``(N, 3)`` code-column array (cached)."""
+        cached = self._columns.get(name)
+        if cached is None:
+            cached = self.unpack(self.relation_keys(name))
+            self._columns[name] = cached
+        return cached
+
+    def active_codes(self) -> np.ndarray:
+        """Codes of objects occurring in some stored triple (domain of U)."""
+        if self._active is None:
+            if self._relations:
+                pieces = [c.ravel() for c in map(self.unpack, self._relations.values())]
+                self._active = np.unique(np.concatenate(pieces)) if pieces else np.empty(0, np.int64)
+            else:  # pragma: no cover — stores always have ≥1 relation
+                self._active = np.empty(0, dtype=np.int64)
+        return self._active
+
+    def __repr__(self) -> str:
+        rels = ", ".join(f"{n}:{len(k)}" for n, k in self._relations.items())
+        return f"ColumnarStore(|O|={self.n}, {rels})"

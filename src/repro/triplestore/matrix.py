@@ -19,7 +19,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import TriplestoreError, UnknownRelationError
+from repro.errors import MatrixTooLargeError, TriplestoreError, UnknownRelationError
 from repro.triplestore.model import Obj, Triple, Triplestore
 
 
@@ -45,10 +45,7 @@ class MatrixStore:
         limit = self.DEFAULT_MAX_OBJECTS if max_objects is None else max_objects
         objs = sorted(store.objects, key=repr)
         if len(objs) > limit:
-            raise TriplestoreError(
-                f"refusing to build an {len(objs)}^3 matrix representation "
-                f"(limit {limit}); pass max_objects to override"
-            )
+            raise MatrixTooLargeError(len(objs), limit, what="cubic matrix")
         self.objects: list[Obj] = objs
         self._pos: dict[Obj, int] = {o: i for i, o in enumerate(objs)}
         n = len(objs)

@@ -65,7 +65,7 @@ class Triplestore:
     ['a', 'b', 'p']
     """
 
-    __slots__ = ("_relations", "_rho", "_objects", "_indexes", "_stats")
+    __slots__ = ("_relations", "_rho", "_objects", "_indexes", "_stats", "_columnar")
 
     def __init__(
         self,
@@ -97,6 +97,7 @@ class Triplestore:
         self._objects: frozenset[Obj] = frozenset(objects)
         self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[Triple]]] = {}
         self._stats = None
+        self._columnar = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -195,6 +196,21 @@ class Triplestore:
         rels[name] = frozenset(_as_triple(t) for t in triples)
         return Triplestore(rels, self._rho, self._objects)
 
+    def add_triple(self, triple: Triple, name: str = DEFAULT_RELATION) -> "Triplestore":
+        """A new store with ``triple`` added to relation ``name``.
+
+        Mutation-by-derivation: the original store — and its cached
+        indexes, statistics and columnar view — is untouched; the derived
+        store starts with fresh (empty) caches, so nothing can go stale.
+
+        >>> t = Triplestore([("a", "p", "b")])
+        >>> t2 = t.add_triple(("b", "p", "c"))
+        >>> len(t), len(t2)
+        (1, 2)
+        """
+        existing = self._relations.get(name, frozenset())
+        return self.with_relation(name, existing | {_as_triple(triple)})
+
     def with_rho(self, rho: Mapping[Obj, Any]) -> "Triplestore":
         """A new store with the data-value function replaced."""
         return Triplestore(self._relations, rho, self._objects)
@@ -245,6 +261,18 @@ class Triplestore:
 
             self._stats = TriplestoreStats(self)
         return self._stats
+
+    def columnar(self) -> "ColumnarStore":
+        """The store's columnar (array-encoded) view, built lazily.
+
+        Like indexes and statistics this is derived, cached data over an
+        immutable store — shared by every vectorised execution against it.
+        """
+        if self._columnar is None:
+            from repro.triplestore.columnar import ColumnarStore
+
+            self._columnar = ColumnarStore(self)
+        return self._columnar
 
     # ------------------------------------------------------------------ #
     # Convenience constructors

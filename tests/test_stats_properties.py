@@ -1,0 +1,143 @@
+"""Property tests for the statistics catalog and the planner's cost model.
+
+Two invariant families:
+
+* **Cache consistency under mutation.**  Stores mutate by *derivation*
+  (``add_triple`` / ``with_relation`` return new stores), which is what
+  makes the lazy stats/index/columnar caches safe.  These tests hunt the
+  invalidation bug that would appear if a derived store ever shared (or
+  corrupted) its parent's caches.
+* **Cost-model sanity.**  Every estimate is non-negative and finite,
+  cumulative cost is strictly monotone over children, and for the
+  scan-shaped plan family (scans, filters, set operations — the
+  operators whose cost is a monotone function of input cardinality) cost
+  is monotone in relation size.  Selectivity-based operators
+  (index lookups, joins) are deliberately excluded from the growth
+  property: adding triples can *raise* distinct counts and therefore
+  lower the estimated output of an equality, which is correct behaviour
+  for a uniformity-assumption optimizer, not a bug.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import R, select
+from repro.core.expressions import Diff, Rel, Select, Union
+from repro.core.plan import compile_plan
+from repro.triplestore.model import Triplestore
+from repro.triplestore.stats import TriplestoreStats
+from tests.conftest import OBJECTS, expressions, stores, triples_st
+
+
+def _fresh_stats(store: Triplestore) -> TriplestoreStats:
+    """Statistics recomputed from scratch (no shared cache)."""
+    return TriplestoreStats(store)
+
+
+# --------------------------------------------------------------------- #
+# Cache consistency across add_triple / mutation-by-derivation
+# --------------------------------------------------------------------- #
+
+
+@given(stores(), triples_st)
+@settings(max_examples=80, deadline=None)
+def test_add_triple_yields_consistent_stats(store, triple):
+    # Warm every cache on the original store *before* mutating.
+    before = store.stats().relation("E")
+    index_before = dict(store.index("E", (0,)))
+    derived = store.add_triple(triple)
+
+    # The derived store's stats match a from-scratch recomputation...
+    derived_rel = derived.stats().relation("E")
+    fresh = _fresh_stats(derived).relation("E")
+    assert derived_rel == fresh
+    assert derived_rel.cardinality == len(derived.relation("E"))
+    assert derived_rel.distinct == tuple(
+        len({t[i] for t in derived.relation("E")}) for i in range(3)
+    )
+
+    # ...and the original store's cached stats and indexes are untouched.
+    assert store.stats().relation("E") == before
+    assert dict(store.index("E", (0,))) == index_before
+    assert triple in derived.relation("E")
+
+
+@given(stores(), triples_st)
+@settings(max_examples=40, deadline=None)
+def test_add_triple_yields_consistent_columnar_view(store, triple):
+    """The columnar encoding is derived data too: never shared, never stale."""
+    view_before = store.columnar()
+    assert view_before.decode_triples(view_before.relation_keys("E")) == store.relation("E")
+    derived = store.add_triple(triple)
+    view_after = derived.columnar()
+    assert view_after is not view_before
+    assert view_after.decode_triples(view_after.relation_keys("E")) == derived.relation("E")
+    # Original view still decodes the original relation.
+    assert view_before.decode_triples(view_before.relation_keys("E")) == store.relation("E")
+
+
+@given(stores())
+@settings(max_examples=40, deadline=None)
+def test_stats_are_idempotent_and_cached(store):
+    first = store.stats().relation("E")
+    again = store.stats().relation("E")
+    assert first == again
+    assert store.stats() is store.stats()
+    # Building indexes in between must not perturb statistics.
+    store.index("E", (1,))
+    assert store.stats().relation("E") == first
+
+
+# --------------------------------------------------------------------- #
+# Cost-model sanity
+# --------------------------------------------------------------------- #
+
+
+@given(expressions(max_depth=3, allow_star=True), stores())
+@settings(max_examples=100, deadline=None)
+def test_estimates_are_nonnegative_and_finite(expr, store):
+    plan = compile_plan(expr, store)
+    for op in plan.walk():
+        assert op.est_rows >= 0.0
+        assert op.est_cost >= 0.0
+        assert math.isfinite(op.est_rows)
+        assert math.isfinite(op.est_cost)
+
+
+@given(expressions(max_depth=3, allow_star=True), stores())
+@settings(max_examples=100, deadline=None)
+def test_cumulative_cost_is_monotone_over_children(expr, store):
+    plan = compile_plan(expr, store)
+    for op in plan.walk():
+        for child in op.children():
+            assert op.est_cost > child.est_cost
+
+
+@given(
+    stores(min_triples=1, max_triples=8),
+    st.sets(triples_st, min_size=1, max_size=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_scan_family_cost_is_monotone_in_relation_size(store, extra):
+    """Growing a relation never cheapens a scan-shaped plan.
+
+    The family: scans, residual filters over scans, unions/differences of
+    scans — every operator whose cost depends only on input cardinality.
+    """
+    grown = store.with_relation("E", store.relation("E") | extra)
+    plans = [
+        R("E"),
+        select(R("E"), "rho(1)=rho(3)"),  # residual filter, no index key
+        Union(Rel("E"), Select(Rel("E"), "1!=2")),
+        Diff(Rel("E"), Rel("E")),
+    ]
+    for expr in plans:
+        small = compile_plan(expr, store)
+        large = compile_plan(expr, grown)
+        assert large.est_cost >= small.est_cost, repr(expr)
+    # Scan output estimates track cardinality exactly.
+    assert compile_plan(R("E"), grown).est_rows == len(grown.relation("E"))
