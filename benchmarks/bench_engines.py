@@ -10,11 +10,16 @@ records two A/B comparisons:
   (``use_planner=False``) → ``BENCH_PLANNER.json``;
 * the vectorised columnar backend (:class:`VectorEngine`) against the
   set backend (:class:`FastEngine`) on join-heavy and star-heavy
-  workloads → ``BENCH_VECTOR.json``.
+  workloads → ``BENCH_VECTOR.json``;
+* the shard-count sweep: the hash-sharded backend
+  (:class:`ShardedEngine`) at ``shards ∈ {2, 4, 8}`` against the same
+  executor at ``shards=1`` (one shard = the degenerate unsharded run
+  through identical code, so the sweep isolates exactly what
+  partitioning buys) → ``BENCH_SHARD.json``.
 
 ::
 
-    PYTHONPATH=src python benchmarks/bench_engines.py   # writes both JSONs
+    PYTHONPATH=src python benchmarks/bench_engines.py   # writes all three JSONs
     PYTHONPATH=src python -m pytest benchmarks/bench_engines.py  # full shoot-out
 """
 
@@ -31,6 +36,7 @@ from repro.core import (
     HashJoinEngine,
     NaiveEngine,
     R,
+    ShardedEngine,
     VectorEngine,
     complement,
     evaluate,
@@ -54,6 +60,7 @@ ENGINES = {
     "fast-prop5": FastEngine(),
     "fast-prop5-legacy": FastEngine(use_planner=False),
     "vector-columnar": VectorEngine(),
+    "sharded-4": ShardedEngine(shards=4),
 }
 
 #: Planner-vs-legacy comparison queries.  The join-heavy entries are the
@@ -91,6 +98,65 @@ VECTOR_WORKLOAD = {
 #: Which VECTOR_WORKLOAD entries the columnar backend must not lose on.
 VECTOR_JOIN_HEAVY = ("join-chain", "eta-join", "neq-join")
 VECTOR_STAR_HEAVY = ("reach-star-any", "reach-star-same-label", "general-star")
+
+
+#: Shard-sweep queries: ``name -> (expression, store factory)``.
+#:
+#: Every query wraps its result in a selective filter so the timings
+#: measure execution, not the final decode to Python triples (which is
+#: identical on both sides and would otherwise dominate the ratio).
+#: The join-heavy entries are where partitioning pays: the
+#: co-partitioned join runs shard against shard with no exchange (both
+#: scans are subject-partitioned and the key is 1=1'), the repartition
+#: join pays one exchange, the chain keeps its heavy intermediates
+#: sharded end to end (lazy re-partitioning: the lost join key never
+#: forces a merge), and the η join exchanges both sides on ρ-codes —
+#: its store uses 200 data-value classes so the η key is selective.
+#: The star entries guard the fixpoints: a sparse reach star (the store
+#: is sized above the dense-matrix guard) and a general star, both
+#: paying per-round frontier exchanges — sharding's worst case.
+SHARD_WORKLOAD = {
+    "co-partitioned-join": (
+        select(join(R("E"), R("E"), "1,2,3'", "1=1'"), "1=3"),
+        lambda: random_store(400, 12000, seed=29),
+    ),
+    "repartition-join": (
+        select(join(R("E"), R("E"), "1,2,3'", "3=1'"), "1=3"),
+        lambda: random_store(400, 12000, seed=29),
+    ),
+    "join-chain": (
+        select(
+            join(
+                join(R("E"), R("E"), "1,2,3'", "3=1'"), R("E"), "1,2,3'", "3=1'"
+            ),
+            "1=3",
+        ),
+        lambda: random_store(400, 12000, seed=29),
+    ),
+    "eta-join": (
+        select(join(R("E"), R("E"), "1,2,3'", "rho(3)=rho(1')"), "1=3"),
+        lambda: random_store(400, 12000, data_values=range(200), seed=37),
+    ),
+    "reach-star-sparse": (
+        select(star(R("E"), "1,2,3'", "3=1'"), "1=3"),
+        lambda: random_store(550, 4000, seed=31),
+    ),
+    "general-star": (
+        select(star(R("E"), "1,2,2'", "3=1'"), "1=3"),
+        lambda: random_store(150, 3000, seed=31),
+    ),
+}
+
+#: The entries the sharded backend exists for (hard ≥1x wins required).
+SHARD_JOIN_HEAVY = (
+    "co-partitioned-join",
+    "repartition-join",
+    "join-chain",
+    "eta-join",
+)
+
+#: Shard counts swept against the shards=1 baseline.
+SHARD_COUNTS = (4, 8)
 
 
 @pytest.mark.parametrize("engine_name", list(ENGINES))
@@ -166,6 +232,66 @@ def run_vector_comparison(repeats: int = 7):
         )
         assert vector_engine.evaluate(expr, store) == set_engine.evaluate(expr, store)
     return comparisons
+
+
+def run_shard_comparison(shard_counts=SHARD_COUNTS, repeats: int = 7):
+    """Time every SHARD_WORKLOAD query at each shard count vs shards=1.
+
+    The baseline is the *same* sharded executor with one shard — the
+    degenerate unsharded run through identical code — so speedups
+    measure partitioning itself, not engine plumbing.  Each store's
+    partition is cached (steady state, like the other comparisons) and
+    results are cross-checked.
+    """
+    comparisons = []
+    for name, (expr, make_store) in SHARD_WORKLOAD.items():
+        store = make_store()
+        for k in shard_counts:
+            baseline = ShardedEngine(shards=1)
+            candidate = ShardedEngine(shards=k)
+            comparisons.append(
+                compare(
+                    f"{name}@shards={k}",
+                    baseline=lambda: baseline.evaluate(expr, store),
+                    candidate=lambda: candidate.evaluate(expr, store),
+                    repeats=repeats,
+                )
+            )
+            assert candidate.evaluate(expr, store) == baseline.evaluate(expr, store)
+    return comparisons
+
+
+def test_sharded_backend_not_slower_than_single_shard():
+    """Sharding must not regress, and the join-heavy queries must win.
+
+    Same methodology and noise allowance as the other two comparisons:
+    15% tolerance on every (workload, shard count) pair, best of three
+    attempts, with a hard ≥1x win required on the join-heavy group at
+    shards=4 — the queries the sharded backend exists for.
+    BENCH_SHARD.json records the magnitudes.
+    """
+
+    def attempt() -> list[str]:
+        comparisons = run_shard_comparison(shard_counts=(4,), repeats=3)
+        failures = [
+            f"{c.name}: sharded {c.candidate_seconds:.6f}s vs "
+            f"single-shard {c.baseline_seconds:.6f}s"
+            for c in comparisons
+            if c.candidate_seconds > c.baseline_seconds * 1.15
+        ]
+        by_name = {c.name: c for c in comparisons}
+        if not any(
+            by_name[f"{name}@shards=4"].speedup >= 1.0 for name in SHARD_JOIN_HEAVY
+        ):
+            failures.append(f"no ≥1x win in {'/'.join(SHARD_JOIN_HEAVY)}")
+        return failures
+
+    failures: list[str] = []
+    for _ in range(3):
+        failures = attempt()
+        if not failures:
+            return
+    raise AssertionError("; ".join(failures))
 
 
 def test_vector_backend_not_slower_than_set():
@@ -278,6 +404,30 @@ def main() -> int:
         )
     )
     print("wrote BENCH_VECTOR.json")
+
+    shard = run_shard_comparison()
+    write_bench_json(
+        "BENCH_SHARD.json",
+        shard,
+        meta={
+            "benchmark": "shard-count sweep: hash-sharded backend vs single shard",
+            "store": "per-workload random_store (join-heavy: 400 objects / 12000 triples; see SHARD_WORKLOAD)",
+            "baseline": "ShardedEngine(shards=1) (degenerate unsharded run, same code path)",
+            "candidate": "ShardedEngine(shards=k) for k in (4, 8), subject-partitioned",
+            "method": "best-of-7 wall time per side (steady state; cached store partitions; selective outputs so decode does not dominate; candidate timed first and charged its own warm-up)",
+        },
+    )
+    print()
+    print(
+        format_table(
+            [
+                (c.name, f"{c.baseline_seconds * 1e3:.2f}", f"{c.candidate_seconds * 1e3:.2f}", f"{c.speedup:.2f}x")
+                for c in shard
+            ],
+            headers=["query", "1 shard ms", "sharded ms", "speedup"],
+        )
+    )
+    print("wrote BENCH_SHARD.json")
     return 0
 
 

@@ -13,9 +13,13 @@ Usage (after installation, or via ``python -m repro.cli``)::
     # Vectorised columnar execution of the same plans
     python -m repro.cli query store.tstore "star[1,2,3'; 3=1'](E)" --backend columnar
 
+    # Shard-parallel execution over the k-way hash-partitioned store
+    python -m repro.cli query store.tstore "join[1,2,3'; 3=1'](E, E)" --backend sharded --shards 4
+
     # Physical plans with cost estimates (store optional: anchors stats)
     python -m repro.cli explain "star[1,2,3'; 3=1'](E)" --physical --store store.tstore
     python -m repro.cli explain "star[1,2,3'; 3=1'](E)" --physical --backend columnar
+    python -m repro.cli explain "join[1,2,3'; 3=1'](E, E)" --physical --backend sharded --shards 4
 
     # Datalog programs (translated to TriAL(*) and planned when possible)
     python -m repro.cli datalog store.tstore program.dl --validate ReachTripleDatalog
@@ -32,7 +36,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core import ENGINE_REGISTRY, NaiveEngine, VectorEngine
+from repro.core import ENGINE_REGISTRY, NaiveEngine, ShardedEngine, VectorEngine
 from repro.core.optimizer import optimize
 from repro.core.parser import parse as parse_expr
 from repro.datalog import parse_program, validate_fragment
@@ -53,28 +57,38 @@ def _print_triples(triples, limit: int | None) -> None:
     print(f"# {len(rows)} triples")
 
 
+#: Which engine each non-set backend request resolves to.
+_BACKEND_ENGINES = {"columnar": "vector", "sharded": "sharded"}
+
+
 def _make_engine(args: argparse.Namespace):
     name = args.engine
     backend = getattr(args, "backend", None)
-    if backend == "columnar":
-        # The columnar backend is the vector engine; --engine may agree
-        # (vector) or be left at its default, but a set-only engine
-        # contradicts the request.
-        if name not in ("fast", "vector"):
+    shards = getattr(args, "shards", None)
+    if backend in _BACKEND_ENGINES:
+        # The backend names its engine; --engine may agree or be left at
+        # its default, but any other engine contradicts the request.
+        target = _BACKEND_ENGINES[backend]
+        if name not in ("fast", target):
             raise ReproError(
-                f"--backend columnar runs the vector engine; "
+                f"--backend {backend} runs the {target} engine; "
                 f"drop --engine {name} or use --backend set"
             )
-        name = "vector"
-    elif backend == "set" and name == "vector":
+        name = target
+    elif backend == "set" and name in _BACKEND_ENGINES.values():
         raise ReproError(
-            "--engine vector runs the columnar backend; "
+            f"--engine {name} runs the "
+            f"{'columnar' if name == 'vector' else name} backend; "
             "drop --backend set or pick another engine"
         )
-    if name == "vector" and args.no_planner:
-        # The planner seam *is* the columnar entry point; without it the
-        # legacy set interpreter would silently run instead.
-        raise ReproError("the columnar backend is planner-only; drop --no-planner")
+    if shards is not None and name != "sharded":
+        raise ReproError("--shards only applies with --backend sharded")
+    if name in _BACKEND_ENGINES.values() and args.no_planner:
+        # The planner seam *is* the columnar/sharded entry point; without
+        # it the legacy set interpreter would silently run instead.
+        raise ReproError(f"the {name} backend is planner-only; drop --no-planner")
+    if name == "sharded":
+        return ShardedEngine(use_planner=not args.no_planner, shards=shards)
     engine_cls = ENGINES[name]
     if engine_cls is NaiveEngine:
         return NaiveEngine()
@@ -130,9 +144,16 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     expr = parse_expr(args.expression)
     if args.optimize:
         expr = optimize(expr)
+    if args.shards is not None and args.backend != "sharded":
+        raise ReproError("--shards only applies with --backend sharded")
     if args.physical:
         store = load_path(args.store) if args.store else None
-        print(explain_physical(expr, store, backend=args.backend))
+        engine = (
+            ShardedEngine(shards=args.shards)
+            if args.backend == "sharded" and args.shards is not None
+            else None
+        )
+        print(explain_physical(expr, store, engine=engine, backend=args.backend))
     else:
         print(explain(expr).summary())
     return 0
@@ -153,8 +174,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=BACKENDS,
         default=None,
-        help="execution backend: tuple-at-a-time sets (default) or "
-        "vectorised columnar arrays (--engine vector implies columnar)",
+        help="execution backend: tuple-at-a-time sets (default), "
+        "vectorised columnar arrays (--engine vector implies columnar), "
+        "or shard-parallel hash-partitioned arrays",
+    )
+    q.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for --backend sharded (default: REPRO_SHARDS or 4)",
     )
     q.add_argument("--optimize", action="store_true", help="apply rewrites first")
     q.add_argument(
@@ -203,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BACKENDS,
         default="set",
         help="with --physical: compile for this execution backend",
+    )
+    e.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for --backend sharded (default: REPRO_SHARDS or 4)",
     )
     e.set_defaults(func=_cmd_explain)
 

@@ -39,6 +39,7 @@ from repro.core.engines import (
     FastEngine,
     HashJoinEngine,
     NaiveEngine,
+    ShardedEngine,
     TripleSet,
     VectorEngine,
 )
@@ -94,6 +95,7 @@ __all__ = [
     "R",
     "Rel",
     "Select",
+    "ShardedEngine",
     "Star",
     "TripleSet",
     "Triplestore",

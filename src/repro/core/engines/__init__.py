@@ -4,6 +4,7 @@ from repro.core.engines.base import Engine, TripleSet
 from repro.core.engines.fast import FastEngine
 from repro.core.engines.hashjoin import HashJoinEngine
 from repro.core.engines.naive import NaiveEngine
+from repro.core.engines.sharded import ShardedEngine
 from repro.core.engines.vectorized import VectorEngine
 
 #: Name → class registry, shared by the CLI and the differential harness.
@@ -12,6 +13,7 @@ ENGINE_REGISTRY: dict[str, type[Engine]] = {
     "hash": HashJoinEngine,
     "fast": FastEngine,
     "vector": VectorEngine,
+    "sharded": ShardedEngine,
 }
 
 __all__ = [
@@ -20,6 +22,7 @@ __all__ = [
     "FastEngine",
     "HashJoinEngine",
     "NaiveEngine",
+    "ShardedEngine",
     "TripleSet",
     "VectorEngine",
 ]

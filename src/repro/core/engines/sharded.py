@@ -1,0 +1,616 @@
+"""Shard-parallel columnar execution of compiled physical plans.
+
+:class:`ShardedEngine` is the planner seam's fourth backend: it executes
+the *same* physical operator trees as every other engine, over the
+``k``-way hash-partitioned view of the store's columnar encoding
+(:class:`~repro.triplestore.sharded.ShardedColumnarStore`).  Every
+intermediate result is a list of ``k`` sorted unique packed-key arrays,
+hash-partitioned on one triple position — which makes the shards
+pairwise disjoint, so per-shard results union to the global result with
+no cross-shard deduplication:
+
+* ``ScanOp`` fans out to the store's cached per-shard arrays (the
+  partition is built once per store, like indexes and statistics);
+* ``HashJoinOp`` runs as ``k`` independent merge joins.  When both
+  inputs are already partitioned on the join key (*co-partitioned*,
+  e.g. two subject-partitioned scans joined on ``1=1'``), shard ``s``
+  joins shard ``s`` directly; otherwise one *exchange* pass re-hashes
+  the misaligned side(s) on the join-key component first (ρ-codes for η
+  keys).  Joins with no cross equality broadcast the gathered right
+  operand to every left shard.  :func:`~repro.core.plan.choose_shard_key`
+  and :func:`~repro.core.plan.shard_output_partition` — shared with the
+  ``explain``-time lowering annotations — decide both;
+* set operations align the two partitions and merge shard-wise with the
+  sorted-array algebra of :mod:`repro.core.engines.vectorized`;
+* general stars and sparse reach stars run the semi-naive fixpoint with
+  a canonical position-0 accumulator: the constant operand is filtered
+  and exchanged once outside the loop, each round exchanges only the
+  frontier.  Dense reach stars gather (the boolean matrix is already
+  the compact representation) and re-partition the closure;
+* shard tasks run on a :class:`~concurrent.futures.ThreadPoolExecutor`
+  when inputs are large enough to amortise dispatch — the numpy
+  sort/searchsorted kernels inside the merge join release the GIL, so
+  shards overlap on multi-core hosts.  Small inputs run serially: a
+  thread hop costs more than a 1000-row merge join.
+
+Cross-backend agreement with the set and columnar executors (and the
+NaiveEngine oracle) is enforced by ``tests/diffcheck.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import EvaluationBudgetError, MatrixTooLargeError, ReproError
+from repro.core.conditions import Cond
+from repro.core.expressions import RIGHT, Expr
+from repro.core.engines.base import TripleSet
+from repro.core.engines.vectorized import (
+    _EMPTY,
+    _MAX_DENSE_LABELS,
+    _REACH_SPEC_ANY,
+    _REACH_SPEC_SAME,
+    _diff_sorted,
+    _intersect_sorted,
+    _local_mask,
+    _merge_join,
+    _union_sorted,
+    VectorEngine,
+    reach_dense,
+)
+from repro.core.plan import (
+    DENSE_MATRIX_MAX_OBJECTS,
+    DiffOp,
+    FilterOp,
+    HashJoinOp,
+    IndexLookupOp,
+    IntersectOp,
+    JoinSpec,
+    PlanOp,
+    ReachStarOp,
+    ScanOp,
+    StarOp,
+    UnionOp,
+    UniverseOp,
+    choose_shard_key,
+    compile_plan,
+    shard_output_partition,
+)
+from repro.triplestore.columnar import sorted_unique
+from repro.triplestore.model import Triplestore
+
+__all__ = ["DEFAULT_SHARDS", "ShardedEngine", "ShardedExecContext", "ShardedKeys"]
+
+#: Environment override for the default shard count (used by CI to run
+#: the whole suite shard-wise: ``REPRO_BACKEND=sharded REPRO_SHARDS=4``).
+_SHARDS_ENV = "REPRO_SHARDS"
+
+#: Shard count when neither the constructor nor the environment says.
+DEFAULT_SHARDS = 4
+
+#: Below this many input rows a shard task runs inline: thread-pool
+#: dispatch latency exceeds the kernel time on small arrays.
+_PARALLEL_MIN_ROWS = 4096
+
+#: One process-wide shard pool, created lazily and shared by every
+#: engine instance — sessions are created freely (one per Database), so
+#: per-engine pools would leak a thread set each.
+_POOL_LOCK = threading.Lock()
+_SHARED_POOL: Optional[ThreadPoolExecutor] = None
+
+
+def _shared_pool() -> Optional[ThreadPoolExecutor]:
+    """The process-wide shard pool (``None`` on single-core hosts)."""
+    global _SHARED_POOL
+    workers = min(os.cpu_count() or 1, 8)
+    if workers <= 1:
+        return None
+    with _POOL_LOCK:
+        if _SHARED_POOL is None:
+            _SHARED_POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+    return _SHARED_POOL
+
+
+def default_shard_count() -> int:
+    """The configured shard count: ``REPRO_SHARDS`` or :data:`DEFAULT_SHARDS`."""
+    raw = os.environ.get(_SHARDS_ENV)
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = 0
+        if value < 1:
+            # Same verdict as an explicit shards=0: a configuration
+            # error, not a silent single-shard run.
+            raise ReproError(
+                f"invalid {_SHARDS_ENV}={raw!r}; expected a positive integer"
+            )
+        return value
+    return DEFAULT_SHARDS
+
+
+class ShardedKeys:
+    """One sharded intermediate result.
+
+    With ``part_pos`` set, ``shards[s]`` is a sorted unique packed-key
+    array holding exactly the rows whose ``part_pos`` component hashes
+    to ``s`` — shards are then pairwise disjoint and globally
+    deduplicated by construction.  ``part_pos=None`` marks a *raw*
+    result: each chunk is still sorted unique, but equal keys may recur
+    across chunks (a join projected its partition key away).  Joins,
+    filters and decode consume raw chunks as-is; consumers that need
+    the disjoint invariant re-partition first (lazily, so join chains
+    never pay for a partition nobody reads).
+    """
+
+    __slots__ = ("shards", "part_pos")
+
+    def __init__(self, shards: list[np.ndarray], part_pos: Optional[int]) -> None:
+        self.shards = shards
+        self.part_pos = part_pos
+
+    @property
+    def total(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    def gather(self) -> np.ndarray:
+        """All rows as one (unsorted) array — for decode and broadcast."""
+        return self.shards[0] if len(self.shards) == 1 else np.concatenate(self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        sizes = ",".join(str(len(s)) for s in self.shards)
+        return f"ShardedKeys(part={self.part_pos}, [{sizes}])"
+
+
+class ShardedExecContext:
+    """Sharded twin of :class:`~repro.core.engines.vectorized.VectorExecContext`.
+
+    Holds the store's sharded columnar view, the budgets, the operator
+    memo and an optional thread pool; every operator result is a
+    :class:`ShardedKeys`.
+    """
+
+    __slots__ = (
+        "store",
+        "cs",
+        "ss",
+        "rho",
+        "max_universe_objects",
+        "max_matrix_objects",
+        "k",
+        "pool",
+        "_memo",
+    )
+
+    def __init__(
+        self,
+        store: Triplestore,
+        max_universe_objects: int = 400,
+        max_matrix_objects: int = DENSE_MATRIX_MAX_OBJECTS,
+        shards: int = DEFAULT_SHARDS,
+        key_pos: int = 0,
+        pool: Optional[ThreadPoolExecutor] = None,
+    ) -> None:
+        self.store = store
+        self.ss = store.sharded(shards, key_pos)
+        self.cs = self.ss.cs
+        self.rho = store.rho
+        self.max_universe_objects = max_universe_objects
+        self.max_matrix_objects = max_matrix_objects
+        self.k = self.ss.k
+        self.pool = pool
+        self._memo: dict[int, ShardedKeys] = {}
+
+    # -- entry points --------------------------------------------------- #
+
+    def execute(self, plan: PlanOp) -> TripleSet:
+        """Run a plan and decode the merged shards back to object triples."""
+        return self.cs.decode_triples(self.run(plan).gather())
+
+    def run(self, op: PlanOp) -> ShardedKeys:
+        """Execute ``op`` (memoised — shared sub-plans run once)."""
+        result = self._memo.get(id(op))
+        if result is None:
+            result = self._dispatch(op)
+            self._memo[id(op)] = result
+        return result
+
+    # -- shard plumbing -------------------------------------------------- #
+
+    def _map(self, fn: Callable, *arg_lists, rows: int = 0) -> list:
+        """Apply ``fn`` across shards, on the pool when it pays off."""
+        if self.pool is not None and self.k > 1 and rows >= _PARALLEL_MIN_ROWS:
+            return list(self.pool.map(fn, *arg_lists))
+        return [fn(*args) for args in zip(*arg_lists)]
+
+    def _empty(self) -> ShardedKeys:
+        return ShardedKeys([_EMPTY] * self.k, 0)
+
+    def _from_raw(self, pieces: list[np.ndarray], pos: int) -> ShardedKeys:
+        """Re-partition arbitrary key arrays onto ``pos``.
+
+        ``pieces`` may overlap across (but not within) entries; the
+        per-target ``sorted_unique`` restores global deduplication, so
+        this is both the exchange and the merge step.
+        """
+        if self.k == 1:
+            merged = pieces[0] if len(pieces) == 1 else sorted_unique(
+                np.concatenate(pieces)
+            )
+            return ShardedKeys([merged], pos)
+        rows = sum(len(p) for p in pieces)
+        buckets = self._map(
+            lambda piece: self.ss.partition(piece, pos), pieces, rows=rows
+        )
+        shards = self._map(
+            lambda t: sorted_unique(np.concatenate([b[t] for b in buckets])),
+            range(self.k),
+            rows=rows,
+        )
+        return ShardedKeys(shards, pos)
+
+    def _repartition(self, sk: ShardedKeys, pos: int) -> ShardedKeys:
+        """``sk`` partitioned on ``pos`` (no-op when already there).
+
+        Raw results (``part_pos=None``) always re-partition — that is
+        the step that restores global deduplication.
+        """
+        if sk.part_pos == pos:
+            return sk
+        return self._from_raw(sk.shards, pos)
+
+    def _operand_cols(
+        self, sk: ShardedKeys, local: tuple[Cond, ...]
+    ) -> list[np.ndarray]:
+        """Per-shard unpacked (and locally filtered) column blocks."""
+        cs = self.cs
+
+        def prep(shard: np.ndarray) -> np.ndarray:
+            cols = cs.unpack(shard)
+            if local:
+                cols = cols[_local_mask(cs, local, cols)]
+            return cols
+
+        return self._map(prep, sk.shards, rows=sk.total)
+
+    def _exchange_cols(
+        self, cols_list: list[np.ndarray], pos: int, on_data: bool
+    ) -> list[np.ndarray]:
+        """Re-hash column blocks on the join-key component at ``pos``.
+
+        θ keys hash the object code itself; η keys hash the ρ-code of
+        the component, so both operands of an η join land in consistent
+        shards.
+        """
+        k = self.k
+        if k == 1:
+            return cols_list
+        cs = self.cs
+
+        def bucket(cols: np.ndarray) -> list[np.ndarray]:
+            comp = cols[:, pos]
+            if on_data:
+                comp = cs.dv_codes[comp]
+            ids = comp % k
+            return [cols[ids == t] for t in range(k)]
+
+        rows = sum(len(c) for c in cols_list)
+        buckets = self._map(bucket, cols_list, rows=rows)
+        return self._map(
+            lambda t: np.concatenate([b[t] for b in buckets]), range(k), rows=rows
+        )
+
+    # -- operator dispatch ---------------------------------------------- #
+
+    def _dispatch(self, op: PlanOp) -> ShardedKeys:
+        if isinstance(op, ScanOp):
+            return ShardedKeys(self.ss.relation_shards(op.name), self.ss.key_pos)
+        if isinstance(op, IndexLookupOp):
+            return self._index_lookup(op)
+        if isinstance(op, FilterOp):
+            return self._filter(op)
+        if isinstance(op, UnionOp):
+            return self._setop(op, _union_sorted)
+        if isinstance(op, DiffOp):
+            return self._setop(op, _diff_sorted)
+        if isinstance(op, IntersectOp):
+            return self._setop(op, _intersect_sorted)
+        if isinstance(op, HashJoinOp):
+            return self._join(op)
+        if isinstance(op, StarOp):
+            return self._star(op)
+        if isinstance(op, ReachStarOp):
+            return self._reach_star(op)
+        if isinstance(op, UniverseOp):
+            return self._universe()
+        raise NotImplementedError(  # pragma: no cover — all ops covered
+            f"no sharded execution for {type(op).__name__}"
+        )
+
+    def _index_lookup(self, op: IndexLookupOp) -> ShardedKeys:
+        cs = self.cs
+
+        def lookup(shard: np.ndarray, cols: np.ndarray) -> np.ndarray:
+            mask = np.ones(len(cols), dtype=bool)
+            for pos, value in zip(op.positions, op.key):
+                mask &= cols[:, pos] == cs.code_of(value)
+            if op.residual:
+                mask &= _local_mask(cs, op.residual, cols)
+            return shard[mask]
+
+        shards = self.ss.relation_shards(op.name)
+        columns = self.ss.shard_columns(op.name)
+        rows = sum(len(s) for s in shards)
+        return ShardedKeys(
+            self._map(lookup, shards, columns, rows=rows), self.ss.key_pos
+        )
+
+    def _filter(self, op: FilterOp) -> ShardedKeys:
+        child = self.run(op.child)
+        cs = self.cs
+
+        def filt(shard: np.ndarray) -> np.ndarray:
+            return shard[_local_mask(cs, op.conditions, cs.unpack(shard))]
+
+        return ShardedKeys(
+            self._map(filt, child.shards, rows=child.total), child.part_pos
+        )
+
+    def _setop(self, op, merge: Callable) -> ShardedKeys:
+        left = self.run(op.left)
+        right = self.run(op.right)
+        # Shard-wise set algebra needs both sides on one disjoint
+        # partition; raw operands canonicalise to position 0.
+        target = left.part_pos if left.part_pos is not None else 0
+        left = self._repartition(left, target)
+        right = self._repartition(right, target)
+        shards = self._map(
+            merge, left.shards, right.shards, rows=left.total + right.total
+        )
+        return ShardedKeys(shards, target)
+
+    def _join(self, op: HashJoinOp) -> ShardedKeys:
+        cs = self.cs
+        spec = op.spec
+        # Children run before the constant gate is consulted, mirroring
+        # the other backends — a closed gate must not suppress a child's
+        # budget error.
+        left = self.run(op.left)
+        right = self.run(op.right)
+        if not spec.gate_open(self.rho):
+            return self._empty()
+        lcols = self._operand_cols(left, spec.left_local)
+        rcols = self._operand_cols(right, spec.right_local)
+        cond, _ = choose_shard_key(spec, left.part_pos, right.part_pos)
+        rows = left.total + right.total
+        if cond is None:
+            # Cartesian product: broadcast the gathered right operand.
+            rall = np.concatenate(rcols)
+            pieces = self._map(
+                lambda lc: _merge_join(cs, spec, lc, rall), lcols, rows=rows
+            )
+        else:
+            li, ri = cond.left.index, cond.right.index - 3
+            if cond.on_data or left.part_pos != li:
+                lcols = self._exchange_cols(lcols, li, cond.on_data)
+            if cond.on_data or right.part_pos != ri:
+                rcols = self._exchange_cols(rcols, ri, cond.on_data)
+            pieces = self._map(
+                lambda lc, rc: _merge_join(cs, spec, lc, rc), lcols, rcols, rows=rows
+            )
+        # A lost partition key stays raw (part_pos=None): the next join
+        # exchanges by value anyway, and set-op consumers re-partition
+        # lazily — join chains never pay for a partition nobody reads.
+        return ShardedKeys(pieces, shard_output_partition(spec, cond, left.part_pos))
+
+    # -- fixpoints ------------------------------------------------------- #
+
+    def _star(self, op: StarOp) -> ShardedKeys:
+        base = self.run(op.child)
+        if not op.spec.gate_open(self.rho):
+            return base
+        return self._fixpoint(op.spec, base, op.side)
+
+    def _fixpoint(self, spec: JoinSpec, base: ShardedKeys, side: str) -> ShardedKeys:
+        """Semi-naive closure of ``base`` under the spec's join, shard-wise.
+
+        The accumulator and frontier stay canonically partitioned on
+        position 0; the constant operand (right for a right star, left
+        for a left one) is filtered and exchanged once, outside the
+        loop — the sharded analogue of :class:`StarOp`'s hoisted index.
+        """
+        cs = self.cs
+        base = self._repartition(base, 0)
+        const_local = spec.right_local if side == RIGHT else spec.left_local
+        varying_local = spec.left_local if side == RIGHT else spec.right_local
+        const_cols = self._operand_cols(base, const_local)
+        # Both operands enter each round partitioned on 0 (the frontier
+        # canonically, the constant via base); pick the join key once.
+        cond, _ = choose_shard_key(spec, 0, 0)
+        const_gathered: Optional[np.ndarray] = None
+        if cond is None:
+            if side == RIGHT:
+                # Broadcast: the varying left stays sharded, the
+                # constant right is gathered once.
+                const_gathered = np.concatenate(const_cols)
+        else:
+            const_key = cond.right.index - 3 if side == RIGHT else cond.left.index
+            if cond.on_data or const_key != 0:
+                const_cols = self._exchange_cols(const_cols, const_key, cond.on_data)
+        # Both the broadcast-retained left operand (varying for a right
+        # star, constant for a left one) and the accumulator sit on
+        # position 0, so that is the left_part the output derives from.
+        out_part = shard_output_partition(spec, cond, 0)
+        acc = base
+        frontier = base
+        while frontier.total:
+            vcols = self._operand_cols(frontier, varying_local)
+            rows = frontier.total + base.total
+            if cond is not None:
+                vkey = cond.left.index if side == RIGHT else cond.right.index - 3
+                if cond.on_data or vkey != 0:
+                    vcols = self._exchange_cols(vcols, vkey, cond.on_data)
+                if side == RIGHT:
+                    pieces = self._map(
+                        lambda lc, rc: _merge_join(cs, spec, lc, rc),
+                        vcols, const_cols, rows=rows,
+                    )
+                else:
+                    pieces = self._map(
+                        lambda lc, rc: _merge_join(cs, spec, lc, rc),
+                        const_cols, vcols, rows=rows,
+                    )
+            elif side == RIGHT:
+                pieces = self._map(
+                    lambda lc: _merge_join(cs, spec, lc, const_gathered),
+                    vcols, rows=rows,
+                )
+            else:
+                # Left star, no cross equality: the constant left stays
+                # sharded, the varying right is gathered per round.
+                vall = np.concatenate(vcols)
+                pieces = self._map(
+                    lambda lc: _merge_join(cs, spec, lc, vall),
+                    const_cols, rows=rows,
+                )
+            produced = (
+                ShardedKeys(pieces, 0)
+                if out_part == 0
+                else self._from_raw(pieces, 0)
+            )
+            new_shards = self._map(
+                _diff_sorted, produced.shards, acc.shards, rows=produced.total
+            )
+            frontier = ShardedKeys(new_shards, 0)
+            acc = ShardedKeys(
+                self._map(_union_sorted, acc.shards, frontier.shards, rows=acc.total),
+                0,
+            )
+        return acc
+
+    def _reach_star(self, op: ReachStarOp) -> ShardedKeys:
+        base = self.run(op.child)
+        if base.total == 0:
+            return base
+        strategy = op.vector_strategy
+        if strategy is None:
+            # Plan compiled without sharded lowering (e.g. handed over
+            # from a set engine): decide against the actual store.
+            n = self.cs.n
+            strategy = "dense" if 0 < n <= self.max_matrix_objects else "sparse"
+        if strategy == "dense" and op.same_label:
+            labels = sorted_unique(
+                np.concatenate(
+                    [self.ss.component(s, 1) for s in base.shards]
+                )
+            )
+            if len(labels) > _MAX_DENSE_LABELS:
+                strategy = "sparse"
+        if strategy == "dense":
+            try:
+                closure = reach_dense(
+                    self.cs, self.max_matrix_objects, base.gather(), op.same_label
+                )
+                # One sorted unique array: globally deduplicated but not
+                # hash-partitioned — stays raw until a consumer asks.
+                return ShardedKeys([closure], None)
+            except MatrixTooLargeError:
+                pass
+        spec = _REACH_SPEC_SAME if op.same_label else _REACH_SPEC_ANY
+        return self._fixpoint(spec, base, RIGHT)
+
+    # -- the universal relation ----------------------------------------- #
+
+    def _universe(self) -> ShardedKeys:
+        active = self.ss.active_codes()
+        if len(active) > self.max_universe_objects:
+            raise EvaluationBudgetError(
+                f"universal relation over {len(active)} objects would hold "
+                f"{len(active) ** 3} triples (limit {self.max_universe_objects} objects); "
+                "raise max_universe_objects to proceed"
+            )
+        n = self.cs.radix
+        pairs = (active[:, None] * n + active[None, :]).reshape(-1)
+        keys = (pairs[:, None] * n + active[None, :]).reshape(-1)
+        return ShardedKeys(self.ss.partition(keys, 0), 0)
+
+
+# --------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------- #
+
+
+class ShardedEngine(VectorEngine):
+    """Hash-sharded columnar executor — same plans, shard-wise runtime.
+
+    Parameters
+    ----------
+    max_universe_objects, use_planner, max_matrix_objects:
+        See :class:`~repro.core.engines.vectorized.VectorEngine` (the
+        sharded backend is likewise planner-only).
+    shards:
+        Number of hash shards; defaults to the ``REPRO_SHARDS``
+        environment variable, then :data:`DEFAULT_SHARDS`.
+    key_pos:
+        The triple position stored relations are partitioned on
+        (0 = subject by default).  Joins whose key matches it run
+        co-partitioned with no exchange pass.
+    """
+
+    backend = "sharded"
+
+    def __init__(
+        self,
+        max_universe_objects: int = 400,
+        use_planner: bool = True,
+        max_matrix_objects: int = DENSE_MATRIX_MAX_OBJECTS,
+        shards: Optional[int] = None,
+        key_pos: int = 0,
+    ) -> None:
+        super().__init__(max_universe_objects, use_planner, max_matrix_objects)
+        if shards is None:
+            shards = default_shard_count()
+        if shards < 1:
+            raise ReproError(f"shard count must be >= 1, got {shards}")
+        if key_pos not in (0, 1, 2):
+            raise ReproError(
+                f"partition key position must be 0, 1 or 2, got {key_pos}"
+            )
+        self.shards = int(shards)
+        self.key_pos = key_pos
+
+    def compile(self, expr: Expr, store: Optional[Triplestore] = None) -> PlanOp:
+        """Compile with the sharded lowering step applied."""
+        return compile_plan(
+            expr,
+            store,
+            use_reach=self.plans_reach_stars,
+            backend="sharded",
+            max_matrix_objects=self.max_matrix_objects,
+            shard_key_pos=self.key_pos,
+        )
+
+    def _shard_pool(self) -> Optional[ThreadPoolExecutor]:
+        """The shared shard pool (None when parallelism cannot help)."""
+        if self.shards <= 1:
+            return None
+        return _shared_pool()
+
+    def execute_plan(self, plan: PlanOp, store: Triplestore) -> TripleSet:
+        """Run a compiled plan over the store's sharded columnar view."""
+        ctx = ShardedExecContext(
+            store,
+            self.max_universe_objects,
+            self.max_matrix_objects,
+            shards=self.shards,
+            key_pos=self.key_pos,
+            pool=self._shard_pool(),
+        )
+        return ctx.execute(plan)

@@ -258,7 +258,7 @@ def _merge_join(
     a = lcols[:, i][li] if i < 3 else rcols[:, i - 3][ri]
     b = lcols[:, j][li] if j < 3 else rcols[:, j - 3][ri]
     c = lcols[:, k][li] if k < 3 else rcols[:, k - 3][ri]
-    n = cs.n
+    n = cs.radix
     return sorted_unique((a * n + b) * n + c)
 
 
@@ -288,6 +288,53 @@ def _bool_closure(adjacency: np.ndarray) -> np.ndarray:
         if np.array_equal(grown, closure):
             return closure
         closure = grown
+
+
+def reach_dense(
+    cs: ColumnarStore, max_matrix_objects: int, keys: np.ndarray, same_label: bool
+) -> np.ndarray:
+    """Dense boolean-matrix reachability over a packed-key base relation.
+
+    Module-level so every columnar execution context (vectorised and
+    sharded) shares one implementation; raises
+    :class:`~repro.errors.MatrixTooLargeError` when the compacted node
+    set exceeds the guard.
+    """
+    cols = cs.unpack(keys)
+    if not same_label:
+        return _reach_dense_emit(cs, max_matrix_objects, cols)
+    parts = [
+        _reach_dense_emit(cs, max_matrix_objects, cols[cols[:, 1] == label])
+        for label in sorted_unique(cols[:, 1])
+    ]
+    return sorted_unique(np.concatenate(parts)) if parts else keys
+
+
+def _reach_dense_emit(
+    cs: ColumnarStore, max_matrix_objects: int, cols: np.ndarray
+) -> np.ndarray:
+    """Closure of one adjacency matrix, attached to its base triples.
+
+    The matrix is built over the *compacted* node set of these triples'
+    endpoints (for the same-label variant that is one label's
+    sub-graph), so sparse labels get tiny matrices; the object-count
+    guard applies to the compacted size.
+    """
+    nodes = sorted_unique(np.concatenate((cols[:, 0], cols[:, 2])))
+    m = len(nodes)
+    if m > max_matrix_objects:
+        raise MatrixTooLargeError(m, max_matrix_objects, what="reachability matrix")
+    sources = np.searchsorted(nodes, cols[:, 0])
+    targets = np.searchsorted(nodes, cols[:, 2])
+    adjacency = np.zeros((m, m), dtype=bool)
+    adjacency[sources, targets] = True
+    closure = _bool_closure(adjacency)
+    reach_rows = closure[targets]  # row i: nodes reachable from o_i
+    row_idx, target_local = np.nonzero(reach_rows)
+    n = cs.radix
+    return sorted_unique(
+        (cols[:, 0][row_idx] * n + cols[:, 1][row_idx]) * n + nodes[target_local]
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -442,49 +489,13 @@ class VectorExecContext:
                 strategy = "sparse"
         if strategy == "dense":
             try:
-                return self._reach_dense(base, op.same_label)
+                return reach_dense(self.cs, self.max_matrix_objects, base, op.same_label)
             except MatrixTooLargeError:
                 # The plan was lowered against a smaller store (plans are
                 # cached per expression and reused across stores); fall
                 # back to the sparse strategy rather than refuse.
                 pass
         return self._reach_sparse(base, op.same_label)
-
-    def _reach_dense(self, keys: np.ndarray, same_label: bool) -> np.ndarray:
-        cs = self.cs
-        cols = cs.unpack(keys)
-        if not same_label:
-            return self._reach_dense_emit(cols)
-        parts = [
-            self._reach_dense_emit(cols[cols[:, 1] == label])
-            for label in sorted_unique(cols[:, 1])
-        ]
-        return sorted_unique(np.concatenate(parts)) if parts else keys
-
-    def _reach_dense_emit(self, cols: np.ndarray) -> np.ndarray:
-        """Closure of one adjacency matrix, attached to its base triples.
-
-        The matrix is built over the *compacted* node set of these
-        triples' endpoints (for the same-label variant that is one
-        label's sub-graph), so sparse labels get tiny matrices; the
-        object-count guard applies to the compacted size.
-        """
-        cs = self.cs
-        nodes = sorted_unique(np.concatenate((cols[:, 0], cols[:, 2])))
-        m = len(nodes)
-        if m > self.max_matrix_objects:
-            raise MatrixTooLargeError(m, self.max_matrix_objects, what="reachability matrix")
-        sources = np.searchsorted(nodes, cols[:, 0])
-        targets = np.searchsorted(nodes, cols[:, 2])
-        adjacency = np.zeros((m, m), dtype=bool)
-        adjacency[sources, targets] = True
-        closure = _bool_closure(adjacency)
-        reach_rows = closure[targets]  # row i: nodes reachable from o_i
-        row_idx, target_local = np.nonzero(reach_rows)
-        n = cs.n
-        return sorted_unique(
-            (cols[:, 0][row_idx] * n + cols[:, 1][row_idx]) * n + nodes[target_local]
-        )
 
     def _reach_sparse(self, keys: np.ndarray, same_label: bool) -> np.ndarray:
         """Sparse reach strategy: the semi-naive columnar join fixpoint.
@@ -515,7 +526,7 @@ class VectorExecContext:
                 f"{len(active) ** 3} triples (limit {self.max_universe_objects} objects); "
                 "raise max_universe_objects to proceed"
             )
-        n = cs.n
+        n = cs.radix
         pairs = (active[:, None] * n + active[None, :]).reshape(-1)
         return (pairs[:, None] * n + active[None, :]).reshape(-1)
 

@@ -140,7 +140,9 @@ def explain_physical(expr: Expr, store=None, engine=None, backend=None) -> str:
     FastEngine).  ``backend="columnar"`` compiles through the vectorised
     engine's lowering step (recursive operators show their dense/sparse
     representation choice) when no engine is given, and adds a backend
-    line to the header.
+    line to the header; ``backend="sharded"`` likewise, with every join
+    additionally annotated with its shard strategy (co-partitioned /
+    repartition / broadcast).
     """
     from repro.core.plan import compile_plan
 
@@ -149,6 +151,10 @@ def explain_physical(expr: Expr, store=None, engine=None, backend=None) -> str:
         from repro.core.engines.vectorized import VectorEngine
 
         engine = VectorEngine()
+    elif engine is None and backend == "sharded":
+        from repro.core.engines.sharded import ShardedEngine
+
+        engine = ShardedEngine()
     if backend is None:
         backend = getattr(engine, "backend", None)
     compiler = getattr(engine, "compile", None)
@@ -176,6 +182,14 @@ def explain_physical(expr: Expr, store=None, engine=None, backend=None) -> str:
     ]
     if backend == "columnar":
         lines.append("backend    : columnar (vectorised packed-array execution)")
+    elif backend == "sharded":
+        k = getattr(engine, "shards", None)
+        key_pos = getattr(engine, "key_pos", 0)
+        detail = f"{k}-way hash-partitioned" if k else "hash-partitioned"
+        lines.append(
+            f"backend    : sharded ({detail} columnar execution, "
+            f"key position {key_pos + 1})"
+        )
     lines += [
         "statistics : "
         + (

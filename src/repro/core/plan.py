@@ -67,8 +67,10 @@ __all__ = [
     "UniverseOp",
     "ExecContext",
     "JoinSpec",
+    "choose_shard_key",
     "compile_plan",
     "lower_plan",
+    "shard_output_partition",
     "split_conditions",
 ]
 
@@ -567,7 +569,7 @@ class HashJoinOp(PlanOp):
     queries against one store then share build work.
     """
 
-    __slots__ = ("left", "right", "spec", "build_side", "index_positions")
+    __slots__ = ("left", "right", "spec", "build_side", "index_positions", "shard_strategy")
 
     def __init__(
         self,
@@ -585,6 +587,8 @@ class HashJoinOp(PlanOp):
         self.spec = spec
         self.build_side = build_side
         self.index_positions = index_positions
+        #: Set by the sharded lowering step; ignored by other backends.
+        self.shard_strategy: Optional[str] = None
 
     def children(self) -> tuple[PlanOp, ...]:
         return (self.left, self.right)
@@ -607,9 +611,10 @@ class HashJoinOp(PlanOp):
         conds = _fmt_conds(self.spec.conditions)
         sep = "; " if conds else ""
         access = "store-index" if self.index_positions is not None else "hash"
+        shard = f" shard={self.shard_strategy}" if self.shard_strategy else ""
         return (
             f"HashJoin[{format_out_spec(self.spec.out)}{sep}{conds}]"
-            f" build={self.build_side} via {access}"
+            f" build={self.build_side} via {access}{shard}"
         )
 
 
@@ -730,6 +735,7 @@ def compile_plan(
     stats=None,
     backend: str = "set",
     max_matrix_objects: Optional[int] = None,
+    shard_key_pos: int = 0,
 ) -> PlanOp:
     """Compile a (preferably optimised) expression into a physical plan.
 
@@ -744,7 +750,9 @@ def compile_plan(
     ``"set"`` (the tuple-at-a-time executors) leaves the plan as built,
     ``"columnar"`` runs :func:`lower_plan` to annotate recursive
     operators with a dense/sparse representation choice for the
-    vectorised backend.
+    vectorised backend, ``"sharded"`` additionally annotates every join
+    with its shard-wise strategy (``shard_key_pos`` names the position
+    stored relations are partitioned on).
     """
     if stats is None:
         stats = store.stats() if store is not None else DEFAULT_STATS
@@ -763,6 +771,7 @@ def compile_plan(
         stats,
         backend=backend,
         max_matrix_objects=max_matrix_objects,
+        shard_key_pos=shard_key_pos,
     )
 
 
@@ -772,6 +781,7 @@ def lower_plan(
     *,
     backend: str = "set",
     max_matrix_objects: Optional[int] = None,
+    shard_key_pos: int = 0,
 ) -> PlanOp:
     """Backend-aware lowering: specialise a compiled plan for a backend.
 
@@ -793,11 +803,24 @@ def lower_plan(
     * ``StarOp`` — always ``"sparse"``: general stars carry arbitrary
       output specs and conditions, executed as semi-naive columnar joins.
 
+    The ``"sharded"`` backend applies the columnar annotations and
+    additionally marks every :class:`HashJoinOp` with its shard-wise
+    strategy — ``co-partitioned`` (both inputs already partitioned on
+    the join key: merge joins run shard against shard directly),
+    ``repartition(left|right|both)`` (one exchange pass re-hashes the
+    named side(s) on the join key first; ``both(η)`` re-hashes on
+    ρ-codes), or ``broadcast`` (no cross equality: each left shard
+    joins the gathered right).  The annotation mirrors the partition
+    propagation the sharded executor performs at run time
+    (:func:`choose_shard_key` / :func:`shard_output_partition` are the
+    single source of truth for both), so ``explain --physical`` shows
+    exactly which joins pay an exchange.
+
     The ``"set"`` backend lowering is the identity.
     """
     if backend == "set":
         return plan
-    if backend != "columnar":
+    if backend not in ("columnar", "sharded"):
         raise AlgebraError(f"unknown execution backend {backend!r}")
     if stats is None:
         stats = DEFAULT_STATS
@@ -810,7 +833,128 @@ def lower_plan(
             op.vector_strategy = "dense" if dense_ok else "sparse"
         elif isinstance(op, StarOp):
             op.vector_strategy = "sparse"
+    if backend == "sharded":
+        _annotate_shard_plan(plan, shard_key_pos)
     return plan
+
+
+# --------------------------------------------------------------------- #
+# Sharded lowering: partition-key propagation
+#
+# Pure structural logic (no numpy) shared between the lowering step —
+# which only *annotates* joins for explain output — and the sharded
+# executor, which uses the same two helpers to decide, per join, which
+# sides to exchange and how the output comes out partitioned.
+# --------------------------------------------------------------------- #
+
+
+def choose_shard_key(
+    spec: JoinSpec, left_part: Optional[int], right_part: Optional[int]
+) -> tuple[Optional[Cond], int]:
+    """Pick the cross equality a sharded executor partitions a join on.
+
+    ``left_part`` / ``right_part`` are the triple positions the operands
+    are currently hash-partitioned on (``None`` for an unpartitioned
+    "raw" intermediate, which never aligns).  Returns ``(condition,
+    aligned)`` where ``aligned`` counts how many operands are already
+    partitioned on their side of the chosen key (2 = co-partitioned, no
+    exchange needed).  θ-equalities are preferred — their join key is
+    the object code the operands are already hashed by; η keys hash
+    ρ-codes, which never align with a position partition.  ``(None, 0)``
+    means no cross equality exists (a cartesian product: broadcast).
+    """
+    theta = [c for c in spec.cross_eq if not c.on_data]
+    if theta:
+        def aligned(cond: Cond) -> int:
+            return int(cond.left.index == left_part) + int(
+                cond.right.index - 3 == right_part
+            )
+        best = max(theta, key=aligned)
+        return best, aligned(best)
+    if spec.cross_eq:
+        return spec.cross_eq[0], 0
+    return None, 0
+
+
+def shard_output_partition(
+    spec: JoinSpec, cond: Optional[Cond], left_part: Optional[int]
+) -> Optional[int]:
+    """Which output position a shard-wise join's result is partitioned on.
+
+    ``None`` means the output carries no component the shards were
+    hashed by, so equal output triples can land in different shards.
+    The executor keeps such results as *raw* shard chunks — joins,
+    filters and decode consume them as-is — and re-partitions (thereby
+    re-deduplicating) lazily, only when a consumer needs the disjoint
+    partition invariant (set operations, fixpoint accumulators).
+    """
+    if cond is None:
+        # Broadcast: left shards keep their partition; the output is
+        # partitioned wherever it retains the left partition component.
+        for m, o in enumerate(spec.out):
+            if o < 3 and o == left_part:
+                return m
+        return None
+    if cond.on_data:
+        # η keys hash ρ-codes; no output position is hashed by them.
+        return None
+    li, ri = cond.left.index, cond.right.index - 3
+    for m, o in enumerate(spec.out):
+        if (o < 3 and o == li) or (o >= 3 and o - 3 == ri):
+            return m
+    return None
+
+
+def _annotate_shard_plan(plan: PlanOp, key_pos: int) -> None:
+    """Annotate each join with its shard strategy (explain metadata only)."""
+    memo: dict[int, Optional[int]] = {}
+
+    def part_of(op: PlanOp) -> Optional[int]:
+        if id(op) in memo:
+            return memo[id(op)]
+        part: Optional[int]
+        if isinstance(op, (ScanOp, IndexLookupOp)):
+            part = key_pos
+        elif isinstance(op, FilterOp):
+            part = part_of(op.child)
+        elif isinstance(op, _SetOp):
+            lp = part_of(op.left)
+            part_of(op.right)  # runtime aligns the right side to the left's
+            part = 0 if lp is None else lp
+        elif isinstance(op, StarOp):
+            part_of(op.child)
+            part = 0  # fixpoints canonicalise their accumulator to position 0
+        elif isinstance(op, ReachStarOp):
+            part_of(op.child)
+            # The sparse fixpoint yields a position-0 partition but the
+            # dense matrix path yields a raw result; None is the
+            # conservative claim (a parent join then reports the
+            # exchange it may have to perform).
+            part = None
+        elif isinstance(op, HashJoinOp):
+            lp, rp = part_of(op.left), part_of(op.right)
+            cond, aligned = choose_shard_key(op.spec, lp, rp)
+            if cond is None:
+                op.shard_strategy = "broadcast"
+            elif cond.on_data:
+                op.shard_strategy = "repartition(both(η))"
+            elif aligned == 2:
+                op.shard_strategy = "co-partitioned"
+            else:
+                sides = []
+                if cond.left.index != lp:
+                    sides.append("left")
+                if cond.right.index - 3 != rp:
+                    sides.append("right")
+                which = "both" if len(sides) == 2 else sides[0]
+                op.shard_strategy = f"repartition({which})"
+            part = shard_output_partition(op.spec, cond, lp)
+        else:  # UniverseOp
+            part = 0
+        memo[id(op)] = part
+        return part
+
+    part_of(plan)
 
 
 def _distinct_estimate(op: PlanOp, local_pos: int, stats) -> float:

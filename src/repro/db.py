@@ -30,6 +30,7 @@ from typing import Any, Callable, Iterable, Union as TypingUnion
 from repro.core import project13
 from repro.core.engines.base import Engine, TripleSet
 from repro.core.engines.fast import FastEngine
+from repro.core.engines.sharded import ShardedEngine
 from repro.core.engines.vectorized import VectorEngine
 from repro.core.expressions import Expr
 from repro.core.optimizer import optimize as optimize_expr
@@ -44,8 +45,9 @@ Query = TypingUnion[Expr, str]
 
 #: Execution backends a session can run on: ``"set"`` executes plans
 #: tuple-at-a-time over Python sets (HashJoin/Fast engines), ``"columnar"``
-#: array-at-a-time over the store's packed numpy encoding (VectorEngine).
-BACKENDS = ("set", "columnar")
+#: array-at-a-time over the store's packed numpy encoding (VectorEngine),
+#: ``"sharded"`` shard-wise over its k-way hash partition (ShardedEngine).
+BACKENDS = ("set", "columnar", "sharded")
 
 #: Environment override for the default backend (used by CI to run the
 #: whole suite on the columnar executor: ``REPRO_BACKEND=columnar``).
@@ -110,12 +112,19 @@ class Database:
         :class:`~repro.core.engines.fast.FastEngine` for ``"set"``
         (planner on, Proposition 4/5 reach operators enabled), a
         :class:`~repro.core.engines.vectorized.VectorEngine` for
-        ``"columnar"``.
+        ``"columnar"``, a
+        :class:`~repro.core.engines.sharded.ShardedEngine` for
+        ``"sharded"``.
     backend:
         One of :data:`BACKENDS`.  ``None`` (default) means: the given
         engine's backend if an engine was passed, else the
         ``REPRO_BACKEND`` environment variable, else ``"set"``.  Plan and
         result caches are keyed per backend.
+    shards:
+        With ``backend="sharded"``: the shard count for the default
+        :class:`~repro.core.engines.sharded.ShardedEngine` (``None``
+        defers to ``REPRO_SHARDS``, then the engine default).  Invalid
+        with any other backend.
     optimize:
         Apply the logical rewrites of :mod:`repro.core.optimizer` before
         planning (default True).
@@ -130,20 +139,37 @@ class Database:
         engine: Engine | None = None,
         *,
         backend: str | None = None,
+        shards: int | None = None,
         optimize: bool = True,
         cache_size: int = 128,
     ) -> None:
         if backend is None:
             if engine is not None:
                 backend = getattr(engine, "backend", "set")
+            elif shards is not None:
+                backend = "sharded"
             else:
                 backend = os.environ.get(_BACKEND_ENV, "set")
         if backend not in BACKENDS:
             raise ReproError(
                 f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
             )
+        if shards is not None and backend != "sharded":
+            raise ReproError(
+                f"shards={shards} only applies to the sharded backend, not {backend!r}"
+            )
         if engine is None:
-            engine = VectorEngine() if backend == "columnar" else FastEngine()
+            if backend == "columnar":
+                engine = VectorEngine()
+            elif backend == "sharded":
+                engine = ShardedEngine(shards=shards)
+            else:
+                engine = FastEngine()
+        elif shards is not None and getattr(engine, "shards", shards) != shards:
+            raise ReproError(
+                f"engine runs {engine.shards} shards, not {shards}; "
+                "drop one of the two arguments"
+            )
         elif getattr(engine, "backend", "set") != backend:
             # An explicit engine/backend pair must agree — otherwise the
             # repr, explain output and cache keys would all mislabel what

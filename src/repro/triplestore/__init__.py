@@ -4,6 +4,7 @@ from repro.triplestore.columnar import ColumnarStore
 from repro.triplestore.io import dump, dump_path, dumps, load, load_path, loads
 from repro.triplestore.matrix import MatrixStore
 from repro.triplestore.model import DEFAULT_RELATION, Obj, Triple, Triplestore
+from repro.triplestore.sharded import ShardedColumnarStore
 from repro.triplestore.stats import DEFAULT_STATS, RelationStats, TriplestoreStats
 
 __all__ = [
@@ -11,6 +12,7 @@ __all__ = [
     "DEFAULT_RELATION",
     "DEFAULT_STATS",
     "MatrixStore",
+    "ShardedColumnarStore",
     "Obj",
     "RelationStats",
     "Triple",

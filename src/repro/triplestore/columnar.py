@@ -64,7 +64,12 @@ class ColumnarStore:
     objects:
         The sorted object universe; code ``i`` denotes ``objects[i]``.
     n:
-        ``len(objects)`` — the code range and the packing radix.
+        ``len(objects)`` — the code range.
+    radix:
+        The packing radix, ``max(n, 1)``.  A store whose relations are
+        all empty has ``n == 0``; packing with radix 0 would divide by
+        zero in :meth:`unpack`, so the degenerate store packs (its
+        vacuously empty arrays) with radix 1 instead.
     dv_values:
         The sorted distinct data values; ``dv_codes[i]`` indexes into it.
     dv_codes:
@@ -75,6 +80,7 @@ class ColumnarStore:
     __slots__ = (
         "objects",
         "n",
+        "radix",
         "_code_of",
         "_obj_array",
         "dv_values",
@@ -94,6 +100,7 @@ class ColumnarStore:
             )
         self.objects: list[Obj] = objs
         self.n: int = len(objs)
+        self.radix: int = max(len(objs), 1)
         self._code_of: dict[Obj, int] = {o: i for i, o in enumerate(objs)}
         # An object-dtype array for vectorised decoding (code → object).
         self._obj_array = np.empty(len(objs), dtype=object)
@@ -131,12 +138,12 @@ class ColumnarStore:
 
     def pack(self, columns: np.ndarray) -> np.ndarray:
         """Pack an ``(N, 3)`` code array into 1-D int64 keys."""
-        n = self.n
+        n = self.radix
         return (columns[:, 0] * n + columns[:, 1]) * n + columns[:, 2]
 
     def unpack(self, keys: np.ndarray) -> np.ndarray:
         """Inverse of :meth:`pack`: keys back into ``(N, 3)`` code columns."""
-        n = self.n
+        n = self.radix
         out = np.empty((len(keys), 3), dtype=np.int64)
         out[:, 2] = keys % n
         rest = keys // n
@@ -151,7 +158,13 @@ class ColumnarStore:
         TriAL expressions always do (the closure property).
         """
         code = self._code_of
-        flat = [code[c] for t in triples for c in t]
+        try:
+            flat = [code[c] for t in triples for c in t]
+        except KeyError as exc:
+            raise TriplestoreError(
+                f"cannot encode triples: object {exc.args[0]!r} is not in "
+                f"the store's universe of {self.n} objects"
+            ) from None
         if not flat:
             return np.empty(0, dtype=np.int64)
         columns = np.array(flat, dtype=np.int64).reshape(-1, 3)
@@ -199,7 +212,11 @@ class ColumnarStore:
         if self._active is None:
             if self._relations:
                 pieces = [c.ravel() for c in map(self.unpack, self._relations.values())]
-                self._active = np.unique(np.concatenate(pieces)) if pieces else np.empty(0, np.int64)
+                self._active = (
+                    sorted_unique(np.concatenate(pieces))
+                    if pieces
+                    else np.empty(0, np.int64)
+                )
             else:  # pragma: no cover — stores always have ≥1 relation
                 self._active = np.empty(0, dtype=np.int64)
         return self._active

@@ -65,7 +65,15 @@ class Triplestore:
     ['a', 'b', 'p']
     """
 
-    __slots__ = ("_relations", "_rho", "_objects", "_indexes", "_stats", "_columnar")
+    __slots__ = (
+        "_relations",
+        "_rho",
+        "_objects",
+        "_indexes",
+        "_stats",
+        "_columnar",
+        "_sharded",
+    )
 
     def __init__(
         self,
@@ -98,6 +106,7 @@ class Triplestore:
         self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[Triple]]] = {}
         self._stats = None
         self._columnar = None
+        self._sharded: dict = {}
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -216,8 +225,12 @@ class Triplestore:
         return Triplestore(self._relations, rho, self._objects)
 
     def restrict(self, names: Iterable[str]) -> "Triplestore":
-        """A new store keeping only the given relations (objects retained)."""
-        keep = {n: self._relations[n] for n in names}
+        """A new store keeping only the given relations (objects retained).
+
+        Raises :class:`UnknownRelationError` for missing names, like
+        :meth:`relation` and :meth:`index`.
+        """
+        keep = {n: self.relation(n) for n in names}
         return Triplestore(keep, self._rho, self._objects)
 
     # ------------------------------------------------------------------ #
@@ -273,6 +286,21 @@ class Triplestore:
 
             self._columnar = ColumnarStore(self)
         return self._columnar
+
+    def sharded(self, shards: int, key_pos: int = 0) -> "ShardedColumnarStore":
+        """A hash-partitioned view of the columnar encoding, built lazily.
+
+        Shares the dictionary encoding of :meth:`columnar` (codes are
+        comparable across shards) and is cached per ``(shards, key_pos)``
+        like every other derived view of the immutable store.
+        """
+        cached = self._sharded.get((shards, key_pos))
+        if cached is None:
+            from repro.triplestore.sharded import ShardedColumnarStore
+
+            cached = ShardedColumnarStore(self.columnar(), shards, key_pos)
+            self._sharded[(shards, key_pos)] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # Convenience constructors

@@ -2,9 +2,10 @@
 
 The library's central invariant is *one semantics*: every engine — the
 paper-faithful :class:`NaiveEngine` oracle, the set-based planner engines
-(:class:`HashJoinEngine`, :class:`FastEngine`, planner on and off) and
-the vectorised columnar :class:`VectorEngine` — must agree on arbitrary
-(expression, store) pairs.  The hypothesis property tests in
+(:class:`HashJoinEngine`, :class:`FastEngine`, planner on and off), the
+vectorised columnar :class:`VectorEngine` and the hash-partitioned
+:class:`ShardedEngine` — must agree on arbitrary (expression, store)
+pairs.  The hypothesis property tests in
 ``test_engines_agree.py`` cover one corner of that space; this harness
 covers it *systematically*: seeded generators for triplestores (sweeping
 density, ρ-collision rate, self-loops, multi-relation stores) and for
@@ -34,6 +35,7 @@ from repro.core import (  # noqa: E402
     FastEngine,
     HashJoinEngine,
     NaiveEngine,
+    ShardedEngine,
     VectorEngine,
 )
 from repro.core.conditions import Cond  # noqa: E402
@@ -82,7 +84,13 @@ GRAPH_LABELS = ("a", "b")
 
 
 def default_engines() -> dict[str, object]:
-    """The engine matrix under test: oracle + set/columnar, planner on/off."""
+    """The engine matrix under test: oracle + set/columnar/sharded, planner on/off.
+
+    The sharded engine runs with three shards (uneven splits over the
+    six-object pool exercise empty and skewed shards) and once with the
+    partition key on the object position, so repartition joins and
+    co-partitioned joins both appear.
+    """
     return {
         "naive": NaiveEngine(),
         "hash": HashJoinEngine(),
@@ -90,6 +98,8 @@ def default_engines() -> dict[str, object]:
         "fast": FastEngine(),
         "fast-legacy": FastEngine(use_planner=False),
         "vector": VectorEngine(),
+        "sharded": ShardedEngine(shards=3),
+        "sharded-obj": ShardedEngine(shards=2, key_pos=2),
     }
 
 
@@ -361,7 +371,8 @@ def repro_snippet(
     rho = {k: store.rho(k) for k in sorted(store.objects, key=repr)}
     lines = [
         f"# differential-testing failure: {case_id}",
-        "from repro.core import FastEngine, HashJoinEngine, NaiveEngine, VectorEngine",
+        "from repro.core import (FastEngine, HashJoinEngine, NaiveEngine,",
+        "                        ShardedEngine, VectorEngine)",
         "from repro.core.parser import parse",
         "from repro.triplestore.model import Triplestore",
         "",
@@ -369,7 +380,8 @@ def repro_snippet(
         f"expr = parse({repr(expr)!r})",
         "expected = NaiveEngine().evaluate(expr, store)",
         "for engine in (HashJoinEngine(), HashJoinEngine(use_planner=False),",
-        "               FastEngine(), FastEngine(use_planner=False), VectorEngine()):",
+        "               FastEngine(), FastEngine(use_planner=False), VectorEngine(),",
+        "               ShardedEngine(shards=3), ShardedEngine(shards=2, key_pos=2)):",
         "    assert engine.evaluate(expr, store) == expected, type(engine).__name__",
     ]
     if outcomes is not None:

@@ -1,8 +1,9 @@
 """The randomized differential harness, run as part of the suite.
 
 All engines — the NaiveEngine oracle, HashJoinEngine and FastEngine
-(planner on *and* off) and the columnar VectorEngine — must agree on
-every seeded random (store, query) case.  The default budget is 200
+(planner on *and* off), the columnar VectorEngine and the
+hash-partitioned ShardedEngine — must agree on every seeded random
+(store, query) case.  The default budget is 200
 TriAL cases plus 60 graph-language (GXPath/NRE translation) cases;
 ``DIFFCHECK_CASES`` scales it up (the CI nightly runs 10×).  On failure
 the assertion message carries a shrunk, executable repro snippet.

@@ -19,6 +19,7 @@ import os
 import pytest
 
 from repro.core.engines.fast import FastEngine
+from repro.core.engines.sharded import ShardedEngine
 from repro.core.engines.vectorized import VectorEngine
 from repro.core.explain import explain_physical
 from repro.core.parser import parse
@@ -54,6 +55,8 @@ CASES = [
 BACKENDS = {
     "set": lambda: FastEngine(),
     "columnar": lambda: VectorEngine(),
+    # Shard count pinned: the goldens must not depend on REPRO_SHARDS.
+    "sharded": lambda: ShardedEngine(shards=4),
 }
 
 
@@ -88,3 +91,13 @@ def test_goldens_differ_between_backends():
     assert rendered_set != rendered_col
     assert "[dense]" in rendered_col or "[sparse]" in rendered_col
     assert "backend    : columnar" in rendered_col
+
+
+def test_sharded_goldens_show_join_strategies():
+    """The sharded goldens must show the shard lowering annotations."""
+    rendered = _render("join[1,2,3'; 3=1'](join[1,2,3'; 3=1'](E, E), E)", "sharded")
+    assert "backend    : sharded (4-way hash-partitioned" in rendered
+    assert "shard=" in rendered
+    # A subject-partitioned scan joined on 3=1' has its right operand
+    # co-partitioned and its left exchanged.
+    assert "shard=repartition(left)" in rendered

@@ -1,0 +1,451 @@
+"""Unit tests for the hash-sharded columnar store and its executor.
+
+The randomized cross-engine agreement (which includes the sharded
+engine) lives in ``test_differential.py``; these tests pin the
+deterministic pieces: the partition invariants, the co-partitioned /
+repartition / broadcast join strategies, the fixpoint bookkeeping, the
+store-layer error-type fixes that rode along with the backend, the
+degenerate ``n = 0`` columnar store, and the facade/CLI wiring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FastEngine,
+    NaiveEngine,
+    R,
+    ShardedEngine,
+    complement,
+    join,
+    select,
+    star,
+)
+from repro.core.engines.sharded import ShardedExecContext, default_shard_count
+from repro.core.plan import (
+    HashJoinOp,
+    JoinSpec,
+    choose_shard_key,
+    compile_plan,
+    shard_output_partition,
+)
+from repro.db import Database
+from repro.errors import (
+    EvaluationBudgetError,
+    ReproError,
+    TriplestoreError,
+    UnknownRelationError,
+)
+from repro.triplestore import ShardedColumnarStore
+from repro.triplestore.columnar import sorted_unique
+from repro.triplestore.model import Triplestore
+from repro.workloads import random_store
+
+
+@pytest.fixture()
+def store() -> Triplestore:
+    return Triplestore(
+        {
+            "E": [
+                ("a", "p", "b"),
+                ("b", "p", "c"),
+                ("c", "q", "a"),
+                ("a", "q", "c"),
+                ("c", "q", "c"),
+            ],
+            "F": [("b", "r", "d"), ("c", "r", "d")],
+        },
+        rho={"a": 0, "b": 1, "c": 0, "d": 1, "p": 1, "q": 0, "r": 0},
+    )
+
+
+# --------------------------------------------------------------------- #
+# ShardedColumnarStore
+# --------------------------------------------------------------------- #
+
+
+class TestShardedStore:
+    @pytest.mark.parametrize("k", [1, 2, 3, 7])
+    @pytest.mark.parametrize("key_pos", [0, 1, 2])
+    def test_shards_partition_the_relation(self, store, k, key_pos):
+        ss = store.sharded(k, key_pos)
+        for name in store.relation_names:
+            shards = ss.relation_shards(name)
+            assert len(shards) == k
+            merged = np.concatenate(shards)
+            full = store.columnar().relation_keys(name)
+            # Disjoint and exhaustive: union equals the relation.
+            assert len(merged) == len(full)
+            assert set(merged.tolist()) == set(full.tolist())
+            for s, shard in enumerate(shards):
+                # Each shard sorted unique and hash-consistent.
+                if len(shard) > 1:
+                    assert np.all(np.diff(shard) > 0)
+                assert np.all(ss.shard_ids(shard, key_pos) == s)
+
+    def test_shares_the_parent_dictionary_encoding(self, store):
+        assert store.sharded(3).cs is store.columnar()
+
+    def test_cached_per_configuration(self, store):
+        assert store.sharded(3) is store.sharded(3)
+        assert store.sharded(3) is not store.sharded(4)
+        assert store.sharded(3, key_pos=0) is not store.sharded(3, key_pos=2)
+
+    def test_active_codes_match_unsharded_view(self, store):
+        expected = store.columnar().active_codes()
+        actual = store.sharded(3).active_codes()
+        assert np.array_equal(actual, expected)
+
+    def test_active_codes_sorted_unique(self, store):
+        active = store.sharded(2).active_codes()
+        assert np.all(np.diff(active) > 0)
+
+    def test_more_shards_than_rows(self, store):
+        ss = store.sharded(64)
+        shards = ss.relation_shards("F")
+        assert sum(len(s) for s in shards) == 2
+        assert sum(1 for s in shards if len(s)) <= 2
+
+    def test_invalid_configuration_rejected(self, store):
+        with pytest.raises(TriplestoreError):
+            ShardedColumnarStore(store.columnar(), 0)
+        with pytest.raises(TriplestoreError):
+            ShardedColumnarStore(store.columnar(), 2, key_pos=5)
+
+    def test_unknown_relation(self, store):
+        with pytest.raises(UnknownRelationError):
+            store.sharded(2).relation_shards("Nope")
+
+
+# --------------------------------------------------------------------- #
+# The shard-key choice shared by lowering and execution
+# --------------------------------------------------------------------- #
+
+
+class TestShardKeyChoice:
+    def _spec(self, text_out: str, conds: str) -> JoinSpec:
+        expr = join(R("E"), R("E"), text_out, conds)
+        return JoinSpec(expr.out, expr.conditions)
+
+    def test_co_partitioned_when_keys_align(self):
+        spec = self._spec("1,2,3'", "1=1'")
+        cond, aligned = choose_shard_key(spec, 0, 0)
+        assert cond is not None and aligned == 2
+
+    def test_theta_preferred_over_eta(self):
+        spec = self._spec("1,2,3'", "3=1' & rho(2)=rho(2')")
+        cond, _ = choose_shard_key(spec, 0, 0)
+        assert not cond.on_data
+
+    def test_cartesian_has_no_key(self):
+        spec = self._spec("1,1',3", "1!=1'")
+        assert choose_shard_key(spec, 0, 0) == (None, 0)
+
+    def test_output_partition_tracks_the_key(self):
+        spec = self._spec("1,2,3'", "1=1'")
+        cond, _ = choose_shard_key(spec, 0, 0)
+        # Output position 1 is the left join key (and the right one, via
+        # the equality) — the join's result stays partitioned on it.
+        assert shard_output_partition(spec, cond, 0) == 0
+
+    def test_output_partition_lost_when_key_projected_away(self):
+        spec = self._spec("2,2,2'", "3=1'")
+        cond, _ = choose_shard_key(spec, 0, 0)
+        assert shard_output_partition(spec, cond, 0) is None
+
+    def test_lowering_annotates_joins(self, store):
+        expr = join(R("E"), R("E"), "1,2,3'", "3=1'")
+        plan = compile_plan(expr, store, backend="sharded")
+        joins = [op for op in plan.walk() if isinstance(op, HashJoinOp)]
+        assert joins and joins[0].shard_strategy == "repartition(left)"
+        # Both sides misaligned → the documented "both" vocabulary.
+        both = join(R("E"), R("E"), "1,2,3'", "3=3'")
+        plan = compile_plan(both, store, backend="sharded")
+        (j,) = [op for op in plan.walk() if isinstance(op, HashJoinOp)]
+        assert j.shard_strategy == "repartition(both)"
+        eta = join(R("E"), R("E"), "1,2,3'", "rho(3)=rho(1')")
+        plan = compile_plan(eta, store, backend="sharded")
+        (j,) = [op for op in plan.walk() if isinstance(op, HashJoinOp)]
+        assert j.shard_strategy == "repartition(both(η))"
+        # Other backends never see the annotation.
+        plain = compile_plan(expr, store, backend="columnar")
+        assert all(
+            op.shard_strategy is None
+            for op in plain.walk()
+            if isinstance(op, HashJoinOp)
+        )
+
+
+# --------------------------------------------------------------------- #
+# Engine behaviour pinned on fixed cases
+# --------------------------------------------------------------------- #
+
+#: Queries exercising each shard strategy and both fixpoint families.
+WORKLOAD = [
+    R("E"),
+    select(R("E"), "2='q' & rho(1)=rho(3)"),
+    join(R("E"), R("E"), "1,2,3'", "1=1'"),  # co-partitioned
+    join(R("E"), R("E"), "1,2,3'", "3=1'"),  # repartition(left)
+    join(R("E"), R("F"), "1,3',3", "2=1' & rho(2)=rho(2')"),  # θ over η
+    join(R("E"), R("E"), "1,2,3'", "rho(3)=rho(1')"),  # pure η exchange
+    join(R("E"), R("E"), "1,1',3", "1!=1'"),  # broadcast + inequality
+    join(R("E"), R("E"), "2,2,2'", "3=1'"),  # key projected away
+    (R("E") | R("F")) - select(R("E"), "1=3"),
+    star(R("E"), "1,2,3'", "3=1'"),  # reach, any path
+    star(R("E"), "1,2,3'", "3=1' & 2=2'"),  # reach, same label
+    star(R("E"), "1,2,2'", "3=1'"),  # general star
+]
+
+
+class TestShardedEngine:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_agrees_on_the_fixed_workload(self, store, k):
+        naive, sharded = NaiveEngine(), ShardedEngine(shards=k)
+        for expr in WORKLOAD:
+            assert sharded.evaluate(expr, store) == naive.evaluate(expr, store), expr
+
+    @pytest.mark.parametrize("key_pos", [1, 2])
+    def test_agrees_with_nondefault_partition_key(self, store, key_pos):
+        naive = NaiveEngine()
+        sharded = ShardedEngine(shards=3, key_pos=key_pos)
+        for expr in WORKLOAD:
+            assert sharded.evaluate(expr, store) == naive.evaluate(expr, store), expr
+
+    def test_agrees_on_a_larger_random_store(self):
+        big = random_store(40, 500, seed=17)
+        fast, sharded = FastEngine(), ShardedEngine(shards=4)
+        for expr in WORKLOAD:
+            if "F" in expr.relation_names():  # single-relation store
+                continue
+            assert sharded.evaluate(expr, big) == fast.evaluate(expr, big), expr
+
+    def test_complement_and_budget(self, store):
+        fast, sharded = FastEngine(), ShardedEngine(shards=3)
+        expr = complement(R("E"))
+        assert sharded.evaluate(expr, store) == fast.evaluate(expr, store)
+        with pytest.raises(EvaluationBudgetError):
+            ShardedEngine(max_universe_objects=3, shards=3).evaluate(expr, store)
+
+    def test_partitioned_intermediates_respect_the_invariant(self, store):
+        engine = ShardedEngine(shards=3)
+        # The join key (1=1') survives in output position 1, so the
+        # result stays partitioned — and must be disjoint across shards.
+        expr = join(R("E"), R("E"), "1,2,3'", "1=1'")
+        plan = engine.compile(expr, store)
+        ctx = ShardedExecContext(store, shards=3)
+        result = ctx.run(plan)
+        assert result.part_pos == 0
+        ss = store.sharded(3)
+        seen: set[int] = set()
+        for s, shard in enumerate(result.shards):
+            assert np.all(ss.shard_ids(shard, result.part_pos) == s)
+            if len(shard) > 1:
+                assert np.all(np.diff(shard) > 0)
+            rows = set(shard.tolist())
+            assert not rows & seen  # globally deduplicated
+            seen |= rows
+        assert ctx.execute(plan) == NaiveEngine().evaluate(expr, store)
+
+    def test_lost_partition_key_stays_raw_until_consumed(self, store):
+        # The projection drops the join key, so the join's own result is
+        # raw (sorted chunks, possible cross-chunk duplicates)…
+        expr = join(R("E"), R("E"), "2,2,2'", "3=1'")
+        ctx = ShardedExecContext(store, shards=3)
+        engine = ShardedEngine(shards=3)
+        raw = ctx.run(engine.compile(expr, store))
+        assert raw.part_pos is None
+        for shard in raw.shards:
+            if len(shard) > 1:
+                assert np.all(np.diff(shard) > 0)
+        assert ctx.execute(engine.compile(expr, store)) == NaiveEngine().evaluate(
+            expr, store
+        )
+        # …and a set-operation consumer re-partitions (re-deduplicating).
+        diff_expr = expr - R("E")
+        result = ctx.run(engine.compile(diff_expr, store))
+        assert result.part_pos == 0
+        merged = np.concatenate(result.shards)
+        assert len(set(merged.tolist())) == len(merged)
+        assert ctx.execute(engine.compile(diff_expr, store)) == NaiveEngine().evaluate(
+            diff_expr, store
+        )
+
+    def test_thread_pool_branch_agrees(self, store, monkeypatch):
+        """Force the pool.map path (normally gated on input size/cores).
+
+        The whole unit suite runs below the dispatch threshold, so
+        without this test a regression confined to the parallel branch
+        would only surface in benchmark output.
+        """
+        import repro.core.engines.sharded as sharded_mod
+
+        monkeypatch.setattr(sharded_mod, "_PARALLEL_MIN_ROWS", 0)
+        monkeypatch.setattr(sharded_mod.os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(sharded_mod, "_SHARED_POOL", None)
+        engine = ShardedEngine(shards=4)
+        assert engine._shard_pool() is not None
+        naive, fast = NaiveEngine(), FastEngine()
+        big = random_store(40, 500, seed=17)
+        for expr in WORKLOAD:
+            assert engine.evaluate(expr, store) == naive.evaluate(expr, store), expr
+            if "F" not in expr.relation_names():
+                # FastEngine oracle on the larger store: the naive
+                # Theorem 3 fixpoints are cubic and would dominate the
+                # suite's runtime.
+                assert engine.evaluate(expr, big) == fast.evaluate(expr, big), expr
+
+    def test_shard_count_validated(self):
+        with pytest.raises(ReproError):
+            ShardedEngine(shards=0)
+        with pytest.raises(ReproError):
+            ShardedEngine(shards=2, key_pos=3)
+
+    def test_env_default_shard_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "7")
+        assert default_shard_count() == 7
+        assert ShardedEngine().shards == 7
+        for bad in ("nope", "0", "-2"):
+            monkeypatch.setenv("REPRO_SHARDS", bad)
+            with pytest.raises(ReproError):
+                default_shard_count()
+        monkeypatch.delenv("REPRO_SHARDS")
+        assert ShardedEngine(shards=2).shards == 2
+
+
+# --------------------------------------------------------------------- #
+# The degenerate n = 0 columnar store (satellite regression)
+# --------------------------------------------------------------------- #
+
+
+class TestDegenerateStores:
+    def test_empty_store_packs_with_radix_one(self):
+        cs = Triplestore.empty().columnar()
+        assert cs.n == 0 and cs.radix == 1
+        assert len(cs.active_codes()) == 0
+        assert cs.decode_triples(cs.relation_keys("E")) == frozenset()
+
+    @pytest.mark.parametrize(
+        "engine",
+        [FastEngine(), ShardedEngine(shards=3)],
+        ids=["set", "sharded"],
+    )
+    def test_empty_store_evaluates_everywhere(self, engine):
+        empty = Triplestore.empty()
+        for expr in WORKLOAD:
+            if "F" in expr.relation_names():  # single-relation store
+                continue
+            assert engine.evaluate(expr, empty) == frozenset()
+
+    def test_empty_store_universe_is_empty(self):
+        from repro.core import universe
+
+        assert ShardedEngine(shards=2).evaluate(universe(), Triplestore.empty()) == (
+            frozenset()
+        )
+
+
+# --------------------------------------------------------------------- #
+# Facade and CLI wiring
+# --------------------------------------------------------------------- #
+
+
+class TestBackendWiring:
+    def test_database_backend_selects_sharded_engine(self, store):
+        db = Database(store, backend="sharded", shards=3)
+        assert isinstance(db.engine, ShardedEngine)
+        assert db.engine.shards == 3
+        assert db.query("join[1,2,3'; 3=1'](E, E)") == Database(store).query(
+            "join[1,2,3'; 3=1'](E, E)"
+        )
+
+    def test_shards_alone_implies_sharded_backend(self, store):
+        assert Database(store, shards=2).backend == "sharded"
+
+    def test_env_var_defaults(self, store, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "sharded")
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        db = Database(store)
+        assert db.backend == "sharded" and db.engine.shards == 2
+
+    def test_shards_with_other_backend_rejected(self, store):
+        with pytest.raises(ReproError):
+            Database(store, backend="columnar", shards=2)
+
+    def test_shards_engine_mismatch_rejected(self, store):
+        with pytest.raises(ReproError):
+            Database(store, engine=ShardedEngine(shards=2), shards=3)
+
+    def test_explain_mentions_backend_and_strategy(self, store):
+        db = Database(store, backend="sharded", shards=4)
+        text = db.explain("join[1,2,3'; 3=1'](E, E)", physical=True)
+        assert "backend    : sharded (4-way hash-partitioned" in text
+        assert "shard=repartition(left)" in text
+
+    def test_cli_backend_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.triplestore.io import dump_path
+
+        path = tmp_path / "store.tstore"
+        dump_path(
+            Triplestore([("a", "p", "b"), ("b", "p", "c")], rho={"a": 1}), str(path)
+        )
+        code = main(
+            ["query", str(path), "star[1,2,3'; 3=1'](E)",
+             "--backend", "sharded", "--shards", "2", "--limit", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# 3 triples" in out
+
+    def test_cli_rejects_shards_without_sharded_backend(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.triplestore.io import dump_path
+
+        path = tmp_path / "store.tstore"
+        dump_path(Triplestore([("a", "p", "b")]), str(path))
+        assert main(["query", str(path), "E", "--shards", "2"]) == 1
+        assert "--shards" in capsys.readouterr().err
+
+    def test_cli_explain_sharded(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["explain", "join[1,2,3'; 3=1'](E, E)",
+             "--physical", "--backend", "sharded", "--shards", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard=" in out and "4-way" in out
+
+
+# --------------------------------------------------------------------- #
+# Store-layer error-type regressions (satellite fixes)
+# --------------------------------------------------------------------- #
+
+
+class TestStoreLayerErrors:
+    def test_restrict_unknown_relation(self, store):
+        with pytest.raises(UnknownRelationError) as err:
+            store.restrict(["E", "Nope"])
+        assert "Nope" in str(err.value)
+        assert "E" in str(err.value)  # lists what is available
+
+    def test_encode_triples_outside_universe(self, store):
+        cs = store.columnar()
+        with pytest.raises(TriplestoreError) as err:
+            cs.encode_triples([("a", "p", "zebra")])
+        assert "zebra" in str(err.value)
+        assert not isinstance(err.value, KeyError)
+
+    def test_active_codes_still_sorted_unique(self, store):
+        active = store.columnar().active_codes()
+        assert np.all(np.diff(active) > 0)
+        decoded = {store.columnar().objects[c] for c in active.tolist()}
+        expected = {o for t in store.all_triples() for o in t}
+        assert decoded == expected
+
+    def test_sorted_unique_is_the_merge_primitive(self):
+        keys = np.array([5, 1, 5, 3, 1], dtype=np.int64)
+        assert sorted_unique(keys).tolist() == [1, 3, 5]

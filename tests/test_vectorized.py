@@ -123,13 +123,12 @@ class TestMatrixGuard:
         assert engine.execute_plan(plan, big) == FastEngine().evaluate(expr, big)
 
     def test_dense_path_raises_when_called_directly(self):
-        from repro.core.engines.vectorized import VectorExecContext
+        from repro.core.engines.vectorized import reach_dense
 
         big = random_store(40, 120, seed=4)
-        ctx = VectorExecContext(big, max_matrix_objects=10)
         keys = big.columnar().relation_keys("E")
         with pytest.raises(MatrixTooLargeError):
-            ctx._reach_dense(keys, same_label=False)
+            reach_dense(big.columnar(), 10, keys, same_label=False)
 
     def test_dense_closure_survives_256_path_witnesses(self):
         """Regression: a uint8 matmul accumulator wraps at 256 witnesses.
