@@ -54,6 +54,8 @@ from repro.core import (
     select,
     star,
 )
+from repro.api import ExplainReport, PreparedStatement, ResultSet
+from repro.core.positions import Param
 from repro.db import Database
 from repro.errors import ReproError
 from repro.triplestore import Triplestore
@@ -66,15 +68,19 @@ __all__ = [
     "Database",
     "Diff",
     "Engine",
+    "ExplainReport",
     "Expr",
     "FastEngine",
     "HashJoinEngine",
     "Intersect",
     "Join",
     "NaiveEngine",
+    "Param",
     "Pos",
+    "PreparedStatement",
     "R",
     "Rel",
+    "ResultSet",
     "ReproError",
     "Select",
     "Star",

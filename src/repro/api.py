@@ -1,0 +1,615 @@
+"""The layered public query API (v2): results, statements, explain, languages.
+
+:class:`repro.db.Database` is the session object; this module defines
+the value types its v2 surface trades in:
+
+* :class:`ResultSet` — the lazy cursor every query returns.  It behaves
+  like a frozen set of rows (``in``, ``len``, iteration, set algebra,
+  comparison with plain sets) but holds its backing representation
+  undecoded: on the columnar and sharded backends that is the packed
+  integer key array, and rows are dictionary-decoded only as they are
+  consumed.  ``limit``/``offset`` slice the keys *before* decoding, so a
+  10-row read of a million-row result decodes 10 triples.
+* :class:`PreparedStatement` — ``db.prepare(...)`` compiles a (possibly
+  ``$param``-placeholder) query once; ``stmt.execute(city="Edinburgh")``
+  binds constants into the cached physical plan per execution
+  (:func:`repro.core.params.bind_plan`), on any backend.
+* :class:`ExplainReport` — the structured explain: the logical analysis,
+  the compiled physical operator tree with cost estimates and backend
+  lowering strategies, as data with :meth:`~ExplainReport.to_json` —
+  consumed by ``repro.cli explain --json`` and the golden tests.
+* :data:`LANGUAGES` — one registry mapping language names to their
+  compile step, so ``db.query(text, lang=...)`` and ``db.prepare(...)``
+  share a single compile path for TriAL, Datalog, GXPath, RPQs, NREs
+  and nSPARQL.
+
+Iteration order of a :class:`ResultSet` is deterministic: packed-key
+order on the columnar backends (object-``repr`` lexicographic), sorted
+by ``repr`` on the set backend.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Set as AbstractSet
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
+
+from repro.errors import AlgebraError, ReproError
+from repro.core.expressions import Expr
+from repro.core.params import (
+    canonicalize_constants,
+    check_bindings,
+    expr_params,
+)
+from repro.core.plan import (
+    FilterOp,
+    HashJoinOp,
+    IndexLookupOp,
+    PlanOp,
+    ReachStarOp,
+    ScanOp,
+    StarOp,
+)
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, types only
+    import numpy as np
+
+    from repro.db import Database
+    from repro.triplestore.columnar import ColumnarStore
+
+__all__ = [
+    "ExplainReport",
+    "LANGUAGES",
+    "Language",
+    "NativeQuery",
+    "PreparedStatement",
+    "ResultSet",
+    "explain_report",
+    "plan_to_dict",
+    "register_language",
+]
+
+
+# --------------------------------------------------------------------- #
+# Row payloads: the undecoded backing store of a ResultSet
+# --------------------------------------------------------------------- #
+
+
+class _SetRows:
+    """Rows held as a frozenset of tuples (the set backends, native paths)."""
+
+    __slots__ = ("rows", "_ordered")
+
+    def __init__(self, rows: frozenset) -> None:
+        self.rows = rows
+        self._ordered: Optional[list] = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def ordered(self) -> list:
+        if self._ordered is None:
+            self._ordered = sorted(self.rows, key=repr)
+        return self._ordered
+
+    def iter_rows(self, offset: int, limit: Optional[int]) -> Iterator:
+        stop = len(self.rows) if limit is None else offset + limit
+        return iter(self.ordered()[offset:stop])
+
+    def contains(self, row: Any) -> bool:
+        return row in self.rows
+
+    def to_set(self) -> frozenset:
+        return self.rows
+
+    def pairs(self) -> frozenset:
+        return frozenset((t[0], t[2]) for t in self.rows)
+
+
+class _ColumnarRows:
+    """Rows held as a sorted unique packed-key array plus its dictionary.
+
+    Decoding is deferred: ``iter_rows`` decodes in chunks as rows are
+    consumed, ``pairs`` projects and deduplicates on integer codes
+    before decoding, and ``contains`` is a binary search on the keys.
+    """
+
+    __slots__ = ("cs", "keys", "_decoded")
+
+    #: Rows decoded per iteration step — large enough to amortise the
+    #: per-chunk numpy gather, small enough that ``--limit 20`` on a
+    #: million-row result stays O(chunk).
+    CHUNK = 1024
+
+    def __init__(self, cs: "ColumnarStore", keys: "np.ndarray") -> None:
+        self.cs = cs
+        self.keys = keys
+        self._decoded: Optional[frozenset] = None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def iter_rows(self, offset: int, limit: Optional[int]) -> Iterator:
+        keys = self.keys
+        stop = len(keys) if limit is None else min(len(keys), offset + limit)
+        decode = self.cs.decode_list
+        for start in range(offset, stop, self.CHUNK):
+            yield from decode(keys[start : min(start + self.CHUNK, stop)])
+
+    def contains(self, row: Any) -> bool:
+        if not (isinstance(row, tuple) and len(row) == 3):
+            return False
+        key = self.cs.encode_triple_key(row)
+        if key < 0:
+            return False
+        import numpy as np
+
+        i = int(np.searchsorted(self.keys, key))
+        return i < len(self.keys) and int(self.keys[i]) == key
+
+    def to_set(self) -> frozenset:
+        if self._decoded is None:
+            self._decoded = self.cs.decode_triples(self.keys)
+        return self._decoded
+
+    def pairs(self) -> frozenset:
+        return self.cs.decode_pairs(self.keys)
+
+
+# --------------------------------------------------------------------- #
+# ResultSet
+# --------------------------------------------------------------------- #
+
+
+class ResultSet(AbstractSet):
+    """A lazy, set-like view over one query result.
+
+    Compatible with the old eager frozenset returns — ``in``, ``len``,
+    iteration, ``==`` against sets, ``|``/``&``/``-`` — while keeping
+    the columnar backends' results undecoded until rows are consumed.
+
+    ``limit``/``offset`` return a *window* onto the same payload (keys
+    are sliced before decode); iteration order is deterministic, so
+    paging through a result is stable.
+    """
+
+    __slots__ = ("_rows", "_offset", "_limit", "_window")
+
+    def __init__(self, rows, offset: int = 0, limit: Optional[int] = None) -> None:
+        self._rows = rows
+        self._offset = offset
+        self._limit = limit
+        self._window: Optional[frozenset] = None
+
+    # -- construction ---------------------------------------------------- #
+
+    @classmethod
+    def from_set(cls, rows) -> "ResultSet":
+        """Wrap an eager set of rows (any arity)."""
+        return cls(_SetRows(frozenset(rows)))
+
+    @classmethod
+    def from_keys(cls, cs: "ColumnarStore", keys: "np.ndarray") -> "ResultSet":
+        """Wrap an undecoded packed-key array over ``cs``'s dictionary."""
+        return cls(_ColumnarRows(cs, keys))
+
+    @classmethod
+    def _from_iterable(cls, iterable) -> "ResultSet":
+        # collections.abc.Set uses this to build results of set algebra.
+        return cls.from_set(iterable)
+
+    # -- the windowing cursor -------------------------------------------- #
+
+    @property
+    def total(self) -> int:
+        """Rows in the underlying result, ignoring the window."""
+        return len(self._rows)
+
+    def limit(self, n: int) -> "ResultSet":
+        """At most the first ``n`` rows of this window (keys-only slice)."""
+        if n < 0:
+            raise AlgebraError(f"limit must be non-negative, got {n}")
+        new = n if self._limit is None else min(self._limit, n)
+        return ResultSet(self._rows, self._offset, new)
+
+    def offset(self, n: int) -> "ResultSet":
+        """This window minus its first ``n`` rows."""
+        if n < 0:
+            raise AlgebraError(f"offset must be non-negative, got {n}")
+        new_limit = self._limit if self._limit is None else max(0, self._limit - n)
+        return ResultSet(self._rows, self._offset + n, new_limit)
+
+    @property
+    def _windowed(self) -> bool:
+        return self._offset > 0 or (
+            self._limit is not None and self._limit < len(self._rows)
+        )
+
+    def __len__(self) -> int:
+        span = max(0, len(self._rows) - self._offset)
+        return span if self._limit is None else min(span, self._limit)
+
+    def __iter__(self) -> Iterator:
+        return self._rows.iter_rows(self._offset, self._limit)
+
+    def __contains__(self, row: Any) -> bool:
+        if not self._windowed:
+            return self._rows.contains(row)
+        return row in self.to_set()
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    # -- materialisation ------------------------------------------------- #
+
+    def to_set(self) -> frozenset:
+        """All rows of this window as a frozenset (decodes them all)."""
+        if not self._windowed:
+            return self._rows.to_set()
+        if self._window is None:
+            self._window = frozenset(self)
+        return self._window
+
+    def to_list(self) -> list:
+        """All rows of this window, in iteration order."""
+        return list(self)
+
+    def first(self) -> Optional[tuple]:
+        """The first row of this window, or ``None`` when empty."""
+        return next(iter(self), None)
+
+    def pairs(self) -> frozenset:
+        """π₁,₃ — the binary-query convention of §6.2, as (subject, object)
+        pairs.  On columnar payloads the projection and deduplication
+        run on integer codes; only the surviving pairs are decoded."""
+        if not self._windowed:
+            return self._rows.pairs()
+        return frozenset((t[0], t[2]) for t in self)
+
+    # -- set behaviour ---------------------------------------------------- #
+
+    __hash__ = AbstractSet._hash
+
+    def __repr__(self) -> str:
+        kind = "columnar" if isinstance(self._rows, _ColumnarRows) else "set"
+        window = ""
+        if self._windowed:
+            window = f", window={self._offset}:+{self._limit}"
+        return f"<ResultSet {len(self)} rows ({kind}{window})>"
+
+
+# --------------------------------------------------------------------- #
+# Prepared statements
+# --------------------------------------------------------------------- #
+
+
+class PreparedStatement:
+    """One compiled query, executable under many parameter bindings.
+
+    Created by :meth:`repro.db.Database.prepare`.  The source is
+    compiled (parse → optimize → constant canonicalization → physical
+    plan) exactly once; :meth:`execute` substitutes the binding into
+    the cached plan (:func:`repro.core.params.bind_plan`) — a shallow
+    structural copy, not a recompilation — and runs it on the session's
+    backend.  Results are session-cached per binding.
+
+    Attributes
+    ----------
+    expr:
+        The optimized logical expression, user ``$params`` intact.
+    params:
+        The parameter names :meth:`execute` expects as keywords.
+    """
+
+    __slots__ = ("db", "lang", "expr", "params", "_canonical", "_consts")
+
+    def __init__(self, db: "Database", expr: Expr, lang: str = "trial") -> None:
+        self.db = db
+        self.lang = lang
+        self.expr = expr
+        self.params = expr_params(expr)
+        self._canonical, self._consts = canonicalize_constants(expr)
+        # Compile (and cache) the parameterized plan up front: prepare
+        # pays the planning cost once, execute only ever binds.
+        db._plan_canonical(self._canonical)
+
+    def execute(self, **bindings: Any) -> ResultSet:
+        """Run the statement with ``bindings`` for its ``$params``."""
+        check_bindings(self.params, bindings)
+        return self.db._execute_canonical(
+            self.expr, self._canonical, {**self._consts, **bindings}
+        )
+
+    def executemany(self, bindings_seq) -> list[ResultSet]:
+        """Run the statement once per binding mapping, in order."""
+        return [self.execute(**b) for b in bindings_seq]
+
+    def plan(self) -> PlanOp:
+        """The cached (parameterized, unbound) physical plan."""
+        return self.db._plan_canonical(self._canonical)
+
+    def explain(self, physical: bool = False) -> str:
+        """Text explain of the statement's (unbound) expression."""
+        return self.db.explain(self.expr, physical=physical)
+
+    def explain_report(self) -> "ExplainReport":
+        """The structured explain of the statement's expression."""
+        return self.db.explain_report(self.expr)
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"${p}" for p in self.params) or "(none)"
+        return (
+            f"PreparedStatement({self.expr!r}, params: {params}, "
+            f"backend={self.db.backend})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Structured explain
+# --------------------------------------------------------------------- #
+
+
+def plan_to_dict(op: PlanOp) -> dict:
+    """One physical operator (and its subtree) as plain JSON-able data.
+
+    Shared sub-plans are expanded per edge, matching the text renderer.
+    Estimates are rounded to two decimals so reports stay readable and
+    golden files stay stable across float-formatting changes.
+    """
+    node: dict[str, Any] = {
+        "op": type(op).__name__.removesuffix("Op"),
+        "label": op.label(),
+        "est_rows": round(op.est_rows, 2),
+        "est_cost": round(op.est_cost, 2),
+    }
+    if isinstance(op, ScanOp):
+        node["relation"] = op.name
+    elif isinstance(op, IndexLookupOp):
+        node["relation"] = op.name
+        node["key_positions"] = [p + 1 for p in op.positions]
+        node["key"] = [repr(v) for v in op.key]
+        if op.residual:
+            node["residual"] = [repr(c) for c in op.residual]
+    elif isinstance(op, FilterOp):
+        node["conditions"] = [repr(c) for c in op.conditions]
+    elif isinstance(op, HashJoinOp):
+        node["out"] = list(op.spec.out)
+        node["conditions"] = [repr(c) for c in op.spec.conditions]
+        node["build_side"] = op.build_side
+        node["access"] = "store-index" if op.index_positions is not None else "hash"
+        if op.shard_strategy:
+            node["shard_strategy"] = op.shard_strategy
+    elif isinstance(op, StarOp):
+        node["out"] = list(op.spec.out)
+        node["conditions"] = [repr(c) for c in op.spec.conditions]
+        node["side"] = op.side
+        if op.vector_strategy:
+            node["strategy"] = op.vector_strategy
+    elif isinstance(op, ReachStarOp):
+        node["variant"] = "same-label" if op.same_label else "any-path"
+        if op.vector_strategy:
+            node["strategy"] = op.vector_strategy
+    children = [plan_to_dict(child) for child in op.children()]
+    if children:
+        node["children"] = children
+    return node
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """The structured explain: logical analysis + physical plan, as data.
+
+    ``logical`` carries the static analysis fields of
+    :class:`repro.core.explain.Explanation`; ``plan`` the nested
+    operator tree of :func:`plan_to_dict`, including per-backend
+    lowering strategies (dense/sparse stars, shard join strategies).
+    """
+
+    expression: str
+    parameters: tuple[str, ...]
+    logical: dict
+    backend: str
+    compiled_by: str
+    statistics: Optional[dict]
+    plan: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "expression": self.expression,
+            "parameters": list(self.parameters),
+            "logical": self.logical,
+            "backend": self.backend,
+            "compiled_by": self.compiled_by,
+            "statistics": self.statistics,
+            "plan": self.plan,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def summary(self) -> str:
+        """A short text header (the full text form is ``explain_physical``)."""
+        return (
+            f"expression : {self.expression}\n"
+            f"fragment   : {self.logical['fragment']}\n"
+            f"backend    : {self.backend}\n"
+            f"compiled by: {self.compiled_by}"
+        )
+
+
+def explain_report(
+    expr: Expr,
+    store=None,
+    engine=None,
+    backend=None,
+) -> ExplainReport:
+    """Build the structured explain for one (already optimized) expression.
+
+    Mirrors :func:`repro.core.explain.explain_physical` — same engine
+    selection, same compilation — but returns data instead of text.
+    """
+    from dataclasses import asdict
+
+    from repro.core.explain import compile_for_explain
+
+    report, plan, compiled_by, resolved_backend, engine = compile_for_explain(
+        expr, store, engine, backend
+    )
+    statistics = None
+    if store is not None:
+        statistics = {"triples": len(store), "objects": store.n_objects}
+    backend_name = resolved_backend or "set"
+    backend_info: dict[str, Any] = {}
+    if backend_name == "sharded":
+        backend_info = {
+            "shards": getattr(engine, "shards", None),
+            "key_position": getattr(engine, "key_pos", 0) + 1,
+        }
+    logical = asdict(report)
+    logical.pop("expression", None)
+    return ExplainReport(
+        expression=repr(expr),
+        parameters=expr_params(expr),
+        logical=logical,
+        backend=(
+            backend_name
+            if not backend_info
+            else f"{backend_name}({backend_info['shards']}-way, "
+            f"key position {backend_info['key_position']})"
+        ),
+        compiled_by=compiled_by,
+        statistics=statistics,
+        plan=plan_to_dict(plan),
+    )
+
+
+# --------------------------------------------------------------------- #
+# The language registry
+# --------------------------------------------------------------------- #
+
+
+class NativeQuery:
+    """A compiled query that does not factor through the Triple Algebra.
+
+    ``run(db)`` produces the result rows directly.  A language's compile
+    step may also return an ``(Expr, NativeQuery)`` pair: the algebraic
+    route with this native evaluation as the execution-time fallback
+    (the Datalog complement-blowup case).
+    """
+
+    __slots__ = ("run",)
+
+    def __init__(self, run: Callable[["Database"], frozenset]) -> None:
+        self.run = run
+
+
+@dataclass(frozen=True)
+class Language:
+    """One front-door language: a name and its compile step.
+
+    ``compile(db, source)`` returns either an :class:`Expr` (executed
+    through the session's optimizer/planner/cache pipeline), a
+    :class:`NativeQuery`, or a ``(Expr, NativeQuery)`` pair — the
+    algebraic route with a native fallback for execution-time budget
+    errors.  ``pairs=True`` marks languages whose conventional answer
+    is the π₁,₃ node-pair projection.
+    """
+
+    name: str
+    compile: Callable[["Database", Any], Any]
+    pairs: bool = False
+
+
+def _compile_trial(db: "Database", source: Any) -> Expr:
+    from repro.core.parser import parse as parse_expr
+
+    if isinstance(source, str):
+        return parse_expr(source)
+    if isinstance(source, Expr):
+        return source
+    raise AlgebraError(
+        f"cannot compile {type(source).__name__} as a TriAL expression"
+    )
+
+
+def _compile_gxpath(db: "Database", source: Any) -> Expr:
+    from repro.graphdb.gxpath_parser import parse_gxpath
+    from repro.translations.graph_to_trial import gxpath_to_trial
+
+    if isinstance(source, str):
+        source = parse_gxpath(source)
+    return gxpath_to_trial(source)
+
+
+def _compile_rpq(db: "Database", source: Any) -> Expr:
+    from repro.translations.graph_to_trial import rpq_to_trial
+
+    return rpq_to_trial(source)
+
+
+def _compile_nre(db: "Database", source: Any) -> Expr:
+    from repro.graphdb.nre import parse_nre
+    from repro.translations.graph_to_trial import nre_to_trial
+
+    if isinstance(source, str):
+        source = parse_nre(source)
+    return nre_to_trial(source)
+
+
+def _compile_datalog(db: "Database", source: Any):
+    from repro.datalog import datalog_to_trial, parse_program, run_program
+
+    program = parse_program(source) if isinstance(source, str) else source
+    native = NativeQuery(lambda db: run_program(program, db.store))
+    try:
+        expr = datalog_to_trial(program)
+    except ReproError:
+        # Outside the translatable fragments: the native stratified
+        # evaluator is the only route.
+        return native
+    # Negated literals translate to U-based complements, which
+    # materialise cubically; execution falls back to the native
+    # evaluator on EvaluationBudgetError.
+    return expr, native
+
+
+def _compile_nsparql(db: "Database", source: Any) -> NativeQuery:
+    if db.document is None:
+        raise ReproError(
+            "nSPARQL queries need a Database.from_rdf session "
+            "(the nSPARQL axes are defined on the RDF document)"
+        )
+    return NativeQuery(lambda db: source.evaluate(db.document, db=db))
+
+
+#: The registered front-door languages, by ``lang=`` name.
+LANGUAGES: dict[str, Language] = {}
+
+
+def register_language(language: Language) -> None:
+    """Register (or replace) a front-door language."""
+    LANGUAGES[language.name] = language
+
+
+for _lang in (
+    Language("trial", _compile_trial),
+    Language("datalog", _compile_datalog),
+    Language("gxpath", _compile_gxpath, pairs=True),
+    Language("rpq", _compile_rpq, pairs=True),
+    Language("nre", _compile_nre, pairs=True),
+    Language("nsparql", _compile_nsparql),
+):
+    register_language(_lang)
+
+
+def get_language(name: str) -> Language:
+    """Look up a registered language, with a helpful error."""
+    try:
+        return LANGUAGES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown query language {name!r}; registered: "
+            + ", ".join(sorted(LANGUAGES))
+        ) from None

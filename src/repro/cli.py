@@ -1,7 +1,9 @@
 """Command-line interface: query triplestore files from the shell.
 
 All commands route through the :class:`repro.db.Database` facade —
-parse → logical optimizer → cost-based physical planner → executor.
+parse → logical optimizer → cost-based physical planner → executor —
+and its v2 query API (prepared statements, streaming cursors,
+structured explain).
 
 Usage (after installation, or via ``python -m repro.cli``)::
 
@@ -9,6 +11,12 @@ Usage (after installation, or via ``python -m repro.cli``)::
     python -m repro.cli query store.tstore "star[1,2,3'; 3=1'](E)"
     python -m repro.cli query store.tstore "join[1,3',3; 2=1'](E, E)" --engine naive
     python -m repro.cli query store.tstore "join[1,3',3; 2=1'](E, E)" --explain
+
+    # Parameterized queries: $name placeholders bound with --param
+    python -m repro.cli query store.tstore "select[2=$label](E)" --param label=part_of
+
+    # Other registered languages through the same front door
+    python -m repro.cli query store.tstore "a/b-" --lang gxpath
 
     # Vectorised columnar execution of the same plans
     python -m repro.cli query store.tstore "star[1,2,3'; 3=1'](E)" --backend columnar
@@ -19,7 +27,7 @@ Usage (after installation, or via ``python -m repro.cli``)::
     # Physical plans with cost estimates (store optional: anchors stats)
     python -m repro.cli explain "star[1,2,3'; 3=1'](E)" --physical --store store.tstore
     python -m repro.cli explain "star[1,2,3'; 3=1'](E)" --physical --backend columnar
-    python -m repro.cli explain "join[1,2,3'; 3=1'](E, E)" --physical --backend sharded --shards 4
+    python -m repro.cli explain "join[1,2,3'; 3=1'](E, E)" --json --backend sharded --shards 4
 
     # Datalog programs (translated to TriAL(*) and planned when possible)
     python -m repro.cli datalog store.tstore program.dl --validate ReachTripleDatalog
@@ -36,6 +44,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.api import ResultSet, explain_report
 from repro.core import ENGINE_REGISTRY, NaiveEngine, ShardedEngine, VectorEngine
 from repro.core.optimizer import optimize
 from repro.core.parser import parse as parse_expr
@@ -47,14 +56,40 @@ from repro.triplestore import load_path
 ENGINES = ENGINE_REGISTRY
 
 
-def _print_triples(triples, limit: int | None) -> None:
-    rows = sorted(triples, key=repr)
-    shown = rows if limit is None else rows[:limit]
+def _print_result(result: ResultSet, limit: int | None) -> None:
+    """Stream a result to stdout, decoding only the rows shown.
+
+    ``result.limit(...)`` slices the backing packed-key array *before*
+    dictionary decode on the columnar/sharded backends — ``--limit 20``
+    on a million-row result decodes 20 triples, not a million.
+    """
+    total = result.total
+    shown = result if limit is None else result.limit(limit)
     for s, p, o in shown:
         print(f"{s!r}\t{p!r}\t{o!r}")
+    if limit is not None and total > limit:
+        print(f"... ({total - limit} more; use --limit 0 for all)")
+    print(f"# {total} triples")
+
+
+def _print_pairs(pairs: frozenset, limit: int | None) -> None:
+    rows = sorted(pairs, key=repr)
+    shown = rows if limit is None else rows[:limit]
+    for s, o in shown:
+        print(f"{s!r}\t{o!r}")
     if limit is not None and len(rows) > limit:
         print(f"... ({len(rows) - limit} more; use --limit 0 for all)")
-    print(f"# {len(rows)} triples")
+    print(f"# {len(rows)} pairs")
+
+
+def _parse_bindings(raw_params: Sequence[str] | None) -> dict:
+    bindings: dict[str, str] = {}
+    for raw in raw_params or ():
+        name, sep, value = raw.partition("=")
+        if not sep or not name:
+            raise ReproError(f"--param expects name=value, got {raw!r}")
+        bindings[name] = value
+    return bindings
 
 
 #: Which engine each non-set backend request resolves to.
@@ -99,13 +134,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
     db = Database.open(
         args.store, engine=_make_engine(args), optimize=args.optimize
     )
-    expr = parse_expr(args.expression)
+    bindings = _parse_bindings(args.param)
+    limit = None if args.limit == 0 else args.limit
+    if args.lang != "trial" and bindings:
+        raise ReproError("--param only applies to TriAL queries")
+    source = parse_expr(args.expression) if args.lang == "trial" else args.expression
+    stmt = db.prepare(source, lang=args.lang)
     if args.optimize:
-        print(f"# optimized: {db.prepare(expr)!r}", file=sys.stderr)
+        print(f"# optimized: {stmt.expr!r}", file=sys.stderr)
     if args.explain:
-        print(db.explain(expr, physical=True), file=sys.stderr)
-    result = db.query(expr)
-    _print_triples(result, None if args.limit == 0 else args.limit)
+        print(db.explain(stmt.expr, physical=True), file=sys.stderr)
+    result = stmt.execute(**bindings)
+    if args.lang != "trial":
+        _print_pairs(result.pairs(), limit)
+    else:
+        _print_result(result, limit)
     return 0
 
 
@@ -116,8 +159,8 @@ def _cmd_datalog(args: argparse.Namespace) -> int:
     if args.validate:
         validate_fragment(program, args.validate)
         print(f"# program is valid {args.validate}¬", file=sys.stderr)
-    result = db.query_datalog(program)
-    _print_triples(result, None if args.limit == 0 else args.limit)
+    result = db.query(program, lang="datalog")
+    _print_result(result, None if args.limit == 0 else args.limit)
     return 0
 
 
@@ -146,14 +189,18 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         expr = optimize(expr)
     if args.shards is not None and args.backend != "sharded":
         raise ReproError("--shards only applies with --backend sharded")
-    if args.physical:
+    if args.json or args.physical:
         store = load_path(args.store) if args.store else None
         engine = (
             ShardedEngine(shards=args.shards)
             if args.backend == "sharded" and args.shards is not None
             else None
         )
-        print(explain_physical(expr, store, engine=engine, backend=args.backend))
+        if args.json:
+            report = explain_report(expr, store, engine=engine, backend=args.backend)
+            print(report.to_json())
+        else:
+            print(explain_physical(expr, store, engine=engine, backend=args.backend))
     else:
         print(explain(expr).summary())
     return 0
@@ -169,6 +216,18 @@ def build_parser() -> argparse.ArgumentParser:
     q = sub.add_parser("query", help="evaluate a TriAL(*) expression")
     q.add_argument("store", help="triplestore file (text format)")
     q.add_argument("expression", help="expression in the TriAL text syntax")
+    q.add_argument(
+        "--lang",
+        choices=["trial", "gxpath", "rpq", "nre"],
+        default="trial",
+        help="query language (graph languages print π₁,₃ node pairs)",
+    )
+    q.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=VALUE",
+        help="bind a $NAME placeholder (repeatable; TriAL only)",
+    )
     q.add_argument("--engine", choices=sorted(ENGINES), default="fast")
     q.add_argument(
         "--backend",
@@ -221,6 +280,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--physical",
         action="store_true",
         help="print the compiled physical plan with cost estimates",
+    )
+    e.add_argument(
+        "--json",
+        action="store_true",
+        help="print the structured explain report (logical analysis + "
+        "physical plan + costs + backend strategies) as JSON",
     )
     e.add_argument(
         "--store",

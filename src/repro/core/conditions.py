@@ -22,8 +22,8 @@ import re
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
-from repro.errors import AlgebraError, ParseError
-from repro.core.positions import Const, Pos, Term
+from repro.errors import AlgebraError, ParseError, UnboundParameterError
+from repro.core.positions import Const, Param, Pos, Term
 
 EQ = "="
 NEQ = "!="
@@ -93,6 +93,8 @@ class Cond:
         def resolve(term: Term) -> Any:
             if isinstance(term, Const):
                 return term.value
+            if isinstance(term, Param):
+                raise UnboundParameterError(term.name)
             if term.index < 3:
                 obj = left_triple[term.index]
             else:
@@ -110,6 +112,8 @@ class Cond:
         def fmt(t: Term) -> str:
             if isinstance(t, Const):
                 return repr(t.value)
+            if isinstance(t, Param):
+                return f"${t.name}"
             name = t.paper_name
             return f"rho({name})" if self.on_data else name
         return f"{fmt(self.left)}{self.op}{fmt(self.right)}"
@@ -141,6 +145,7 @@ _TERM_RE = re.compile(
     r"""\s*(?:
         rho\(\s*(?P<rhopos>[123]'?)\s*\)      # rho(2')
       | (?P<pos>[123]'?)                      # 2'
+      | \$(?P<param>[A-Za-z_]\w*)             # $city — bound at execution
       | '(?P<sq>[^']*)'                       # 'object constant'
       | "(?P<dq>[^"]*)"
       | (?P<num>-?\d+(?:\.\d+)?)              # numeric constant
@@ -158,6 +163,8 @@ def _parse_term(text: str, pos: int) -> tuple[Term, bool, str, int]:
         return Pos.from_paper(m.group("rhopos")), True, m.group("rhopos"), m.end()
     if m.group("pos"):
         return Pos.from_paper(m.group("pos")), False, m.group("pos"), m.end()
+    if m.group("param"):
+        return Param(m.group("param")), False, "", m.end()
     if m.group("sq") is not None:
         return Const(m.group("sq")), False, "", m.end()
     if m.group("dq") is not None:

@@ -339,7 +339,7 @@ class ShardedExecContext:
 
         def lookup(shard: np.ndarray, cols: np.ndarray) -> np.ndarray:
             mask = np.ones(len(cols), dtype=bool)
-            for pos, value in zip(op.positions, op.key):
+            for pos, value in zip(op.positions, op.bound_key()):
                 mask &= cols[:, pos] == cs.code_of(value)
             if op.residual:
                 mask &= _local_mask(cs, op.residual, cols)
@@ -614,3 +614,22 @@ class ShardedEngine(VectorEngine):
             pool=self._shard_pool(),
         )
         return ctx.execute(plan)
+
+    def execute_plan_keys(self, plan: PlanOp, store: Triplestore):
+        """Run a compiled plan, returning ``(columnar view, packed keys)``.
+
+        The merged shards are restored to one sorted unique array —
+        partitioned shards are disjoint but interleaved, and raw chunks
+        may repeat keys across shards, so the canonical cursor form
+        (sorted, deduplicated, deterministic iteration order) needs one
+        ``sorted_unique`` pass either way.  Decode stays deferred.
+        """
+        ctx = ShardedExecContext(
+            store,
+            self.max_universe_objects,
+            self.max_matrix_objects,
+            shards=self.shards,
+            key_pos=self.key_pos,
+            pool=self._shard_pool(),
+        )
+        return ctx.cs, sorted_unique(ctx.run(plan).gather())

@@ -36,7 +36,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import EvaluationBudgetError, MatrixTooLargeError
+from repro.errors import EvaluationBudgetError, MatrixTooLargeError, UnboundParameterError
 from repro.core.conditions import Cond
 from repro.core.expressions import (
     REACH_COND_ANY,
@@ -63,7 +63,7 @@ from repro.core.plan import (
     UniverseOp,
     compile_plan,
 )
-from repro.core.positions import Const
+from repro.core.positions import Const, Param
 from repro.triplestore.columnar import ColumnarStore, sorted_unique
 from repro.triplestore.model import Triplestore
 
@@ -142,6 +142,8 @@ def _resolve_local(cs: ColumnarStore, cond: Cond, term, cols: np.ndarray):
         # codes; unknown constants get the -1 sentinel, which no stored
         # code equals (codes are non-negative).
         return cs.dv_code_of(term.value) if cond.on_data else cs.code_of(term.value)
+    if isinstance(term, Param):
+        raise UnboundParameterError(term.name)
     col = cols[:, term.index % 3]
     return cs.dv_codes[col] if cond.on_data else col
 
@@ -410,7 +412,7 @@ class VectorExecContext:
         keys = cs.relation_keys(op.name)
         cols = cs.relation_columns(op.name)
         mask = np.ones(len(cols), dtype=bool)
-        for pos, value in zip(op.positions, op.key):
+        for pos, value in zip(op.positions, op.bound_key()):
             mask &= cols[:, pos] == cs.code_of(value)
         if op.residual:
             mask &= _local_mask(cs, op.residual, cols)
@@ -582,3 +584,15 @@ class VectorEngine(HashJoinEngine):
             store, self.max_universe_objects, self.max_matrix_objects
         )
         return ctx.execute(plan)
+
+    def execute_plan_keys(self, plan: PlanOp, store: Triplestore):
+        """Run a compiled plan, returning ``(columnar view, packed keys)``.
+
+        The undecoded twin of :meth:`execute_plan`: the caller (the
+        :class:`~repro.api.ResultSet` cursor) decodes lazily, so
+        ``limit``-style reads touch only the rows they yield.
+        """
+        ctx = VectorExecContext(
+            store, self.max_universe_objects, self.max_matrix_objects
+        )
+        return ctx.cs, ctx.run(plan)

@@ -29,7 +29,7 @@ from repro.core.expressions import (
 )
 from repro.core.semijoin import in_semijoin_algebra
 
-__all__ = ["Explanation", "explain", "explain_physical"]
+__all__ = ["Explanation", "compile_for_explain", "explain", "explain_physical"]
 
 
 @dataclass(frozen=True)
@@ -129,20 +129,15 @@ def explain(expr: Expr) -> Explanation:
     )
 
 
-def explain_physical(expr: Expr, store=None, engine=None, backend=None) -> str:
-    """The physical plan (with cost estimates) for one expression.
+def compile_for_explain(expr: Expr, store=None, engine=None, backend=None):
+    """Compile ``expr`` the way explain output describes it.
 
-    ``store`` anchors cardinality estimates in real statistics; without
-    one, the planner's textbook defaults are used and the header says so.
-    ``engine`` may be an :class:`~repro.core.engines.base.Engine`
-    instance or ``None`` (the recommended engine's compilation is used:
-    reach-star routing exactly when the static analysis recommends
-    FastEngine).  ``backend="columnar"`` compiles through the vectorised
-    engine's lowering step (recursive operators show their dense/sparse
-    representation choice) when no engine is given, and adds a backend
-    line to the header; ``backend="sharded"`` likewise, with every join
-    additionally annotated with its shard strategy (co-partitioned /
-    repartition / broadcast).
+    Shared by the text renderer (:func:`explain_physical`) and the
+    structured :class:`repro.api.ExplainReport`.  Returns
+    ``(report, plan, compiled_by, backend, engine)`` where ``report`` is
+    the static :class:`Explanation`, ``plan`` the compiled physical plan
+    and ``compiled_by`` the header annotation naming the compiler (with
+    caveats when the given engine would not actually run the plan).
     """
     from repro.core.plan import compile_plan
 
@@ -175,6 +170,27 @@ def explain_physical(expr: Expr, store=None, engine=None, backend=None) -> str:
                 f" — note: {type(engine).__name__} interprets directly "
                 "and will not run this plan"
             )
+    return report, plan, compiled_by, backend, engine
+
+
+def explain_physical(expr: Expr, store=None, engine=None, backend=None) -> str:
+    """The physical plan (with cost estimates) for one expression.
+
+    ``store`` anchors cardinality estimates in real statistics; without
+    one, the planner's textbook defaults are used and the header says so.
+    ``engine`` may be an :class:`~repro.core.engines.base.Engine`
+    instance or ``None`` (the recommended engine's compilation is used:
+    reach-star routing exactly when the static analysis recommends
+    FastEngine).  ``backend="columnar"`` compiles through the vectorised
+    engine's lowering step (recursive operators show their dense/sparse
+    representation choice) when no engine is given, and adds a backend
+    line to the header; ``backend="sharded"`` likewise, with every join
+    additionally annotated with its shard strategy (co-partitioned /
+    repartition / broadcast).
+    """
+    report, plan, compiled_by, backend, engine = compile_for_explain(
+        expr, store, engine, backend
+    )
     lines = [
         f"expression : {report.expression}",
         f"fragment   : {report.fragment}",

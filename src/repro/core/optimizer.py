@@ -88,8 +88,8 @@ def _retarget_select_over_join(cond: Cond, out: tuple[int, int, int]) -> Cond | 
     malformed conditions.
     """
     def retarget(term):
-        if isinstance(term, Const):
-            return term
+        if not isinstance(term, Pos):
+            return term  # constants and parameters pass through unchanged
         return Pos(out[term.index])
 
     return Cond(retarget(cond.left), retarget(cond.right), cond.op, cond.on_data)

@@ -49,7 +49,7 @@ from repro.core.expressions import (
     Universe,
     star_is_reach,
 )
-from repro.core.positions import Const, Pos, format_out_spec
+from repro.core.positions import Const, Param, Pos, format_out_spec
 from repro.triplestore.model import Triple, Triplestore
 from repro.triplestore.stats import DEFAULT_STATS
 
@@ -469,8 +469,24 @@ class IndexLookupOp(PlanOp):
         self.key = key
         self.residual = residual
 
+    def bound_key(self) -> tuple:
+        """The lookup key, verified parameter-free.
+
+        Raises :class:`~repro.errors.UnboundParameterError` when a
+        :class:`~repro.core.positions.Param` is still in the key (a
+        parameterized plan executed without
+        :func:`repro.core.params.bind_plan`) — a silent ``.get`` miss
+        would otherwise return an empty result instead of an error.
+        """
+        for value in self.key:
+            if isinstance(value, Param):
+                from repro.errors import UnboundParameterError
+
+                raise UnboundParameterError(value.name)
+        return self.key
+
     def _execute(self, ctx: ExecContext) -> TripleSet:
-        bucket = ctx.store.index(self.name, self.positions).get(self.key, ())
+        bucket = ctx.store.index(self.name, self.positions).get(self.bound_key(), ())
         if not self.residual:
             return frozenset(bucket)
         rho = ctx.rho
@@ -1091,13 +1107,21 @@ def _compile_select(e: Select, compile_node, stats) -> PlanOp:
 
 
 def _constant_equality(cond: Cond) -> tuple[Optional[int], Any]:
-    """Recognise ``position = constant`` θ-equalities (either order)."""
+    """Recognise ``position = constant`` θ-equalities (either order).
+
+    A :class:`~repro.core.positions.Param` placeholder counts as a
+    constant — the lookup key then carries the ``Param`` itself, to be
+    substituted by :func:`repro.core.params.bind_plan` at execution
+    time, so parameterized and constant queries share one plan shape.
+    """
     if cond.on_data or not cond.is_equality:
         return None, None
-    if isinstance(cond.left, Pos) and isinstance(cond.right, Const):
-        return cond.left.index, cond.right.value
-    if isinstance(cond.right, Pos) and isinstance(cond.left, Const):
-        return cond.right.index, cond.left.value
+    if isinstance(cond.left, Pos) and isinstance(cond.right, (Const, Param)):
+        right = cond.right
+        return cond.left.index, right.value if isinstance(right, Const) else right
+    if isinstance(cond.right, Pos) and isinstance(cond.left, (Const, Param)):
+        left = cond.left
+        return cond.right.index, left.value if isinstance(left, Const) else left
     return None, None
 
 

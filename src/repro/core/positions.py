@@ -12,6 +12,7 @@ A condition term is either a :class:`Pos` (one of the six positions) or a
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Any, Union
 
@@ -88,7 +89,35 @@ class Const:
         return f"Const({self.value!r})"
 
 
-Term = Union[Pos, Const]
+_PARAM_NAME_RE = re.compile(r"[A-Za-z_]\w*\Z")
+
+
+@dataclass(frozen=True)
+class Param:
+    """A named placeholder for a constant, bound at execution time.
+
+    A :class:`Param` stands wherever a :class:`Const` may stand in a
+    condition (``$city`` in the text syntax): a prepared statement
+    compiles the expression once and substitutes the bound constant into
+    the cached physical plan per execution (:mod:`repro.core.params`).
+    The planner treats a parameterized equality exactly like the
+    constant one it replaces, so the plan shape — and therefore the plan
+    cache entry — is shared across all bindings.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not _PARAM_NAME_RE.match(self.name):
+            raise AlgebraError(
+                f"parameter name must be an identifier, got {self.name!r}"
+            )
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+Term = Union[Pos, Const, Param]
 
 #: The paper's position names in index order, exported for pretty-printers.
 PAPER_POSITION_NAMES = _PAPER_NAMES

@@ -1,45 +1,76 @@
-"""The unified ``Database`` session facade.
+"""The unified ``Database`` session facade — public query API v2.
 
 One object ties the whole pipeline together — store → statistics →
-logical optimizer → physical planner → executor — and fronts it with an
-LRU plan/result cache, so every frontend (TriAL text, GXPath, RPQs,
-NREs, nSPARQL, Datalog, the CLI) evaluates through one seam::
+logical optimizer → physical planner → executor — and fronts it with
+thread-safe LRU plan/result caches, so every frontend language
+evaluates through one seam::
 
     from repro.db import Database
 
-    db = Database.open("store.tstore")          # or Database(store)
-    db.query("join[1,3',3; 2=1'](E, E)")        # parsed, optimized, planned
-    db.query_pairs("star[1,2,3'; 3=1'](E)")     # π₁,₃ of the result
-    print(db.explain("(E | E)", physical=True)) # the chosen physical plan
+    db = Database.open("store.tstore")              # or Database(store)
+    db.query("join[1,3',3; 2=1'](E, E)")            # lazy ResultSet
+    db.query("a/b-", lang="gxpath").pairs()         # any registered language
+    stmt = db.prepare("select[2=$label](E)")        # compiled once
+    stmt.execute(label="part_of")                   # bound per execution
+    report = db.explain_report("star[1,2,3'; 3=1'](E)")
+    report.to_json()                                # structured explain
 
-Caches are keyed on ``(expression, store)``: the store is immutable by
-convention, so entries never go stale; :meth:`Database.install` swaps in
-a derived store (the paper's composition/closure story) and invalidates
-everything in one step.  Repeated queries — and repeated *sub*-queries
-via the planner's shared-scan indexes — then hit warm state instead of
-recomputing.
+    with db.batch():                                # transactional mutations
+        db.install("Closure", "star[1,2,3'; 3=1'](E)")
+        db.install("Friends", triples)
+
+Caching is *relation-aware*: every plan/result cache key embeds the
+version of each relation the expression mentions (its dependency set),
+so :meth:`Database.install` invalidates exactly the entries that read
+the mutated relation — queries over unrelated relations keep their warm
+plans and results.  Constants are canonicalized into parameters before
+planning (:mod:`repro.core.params`), which turns the plan cache into a
+cross-parameter cache: ``select[2='a'](E)`` and ``select[2='b'](E)``
+share one compiled plan, bound per execution.
+
+The pre-v2 per-language ``query_*`` methods remain as thin deprecation
+shims over ``query(source, lang=...)``; see the migration table in the
+README.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Union as TypingUnion
+from typing import Any, Callable, Iterable, Mapping, Union as TypingUnion
 
-from repro.core import project13
+from repro.api import (
+    ExplainReport,
+    NativeQuery,
+    PreparedStatement,
+    ResultSet,
+    _ColumnarRows,
+    _SetRows,
+    explain_report as _build_explain_report,
+    get_language,
+)
 from repro.core.engines.base import Engine, TripleSet
 from repro.core.engines.fast import FastEngine
 from repro.core.engines.sharded import ShardedEngine
 from repro.core.engines.vectorized import VectorEngine
-from repro.core.expressions import Expr
+from repro.core.expressions import Expr, Universe
 from repro.core.optimizer import optimize as optimize_expr
+from repro.core.params import (
+    bind_plan,
+    canonicalize_constants,
+    check_bindings,
+    expr_params,
+    substitute_params,
+)
 from repro.core.parser import parse as parse_expr
-from repro.core.plan import ExecContext, PlanOp
+from repro.core.plan import PlanOp
 from repro.errors import EvaluationBudgetError, ReproError
 from repro.triplestore.model import Triple, Triplestore
 
-__all__ = ["BACKENDS", "CacheInfo", "Database"]
+__all__ = ["BACKENDS", "CacheInfo", "Database", "MutationBatch"]
 
 Query = TypingUnion[Expr, str]
 
@@ -65,38 +96,96 @@ class CacheInfo:
 
 
 class _LRU:
-    """A small LRU map with hit/miss counters (no external deps)."""
+    """A small thread-safe LRU map with hit/miss counters (no external deps).
 
-    __slots__ = ("maxsize", "hits", "misses", "_data")
+    The sharded backend runs thread-pool tasks against a shared
+    ``Database``, so get/insert/evict hold a lock; the ``compute``
+    callback runs *outside* it (a racing pair may both compute — the
+    first insert wins, which is harmless for our pure computations —
+    but no lock is ever held across planning or execution).
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_data", "_lock")
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
         self._data: OrderedDict[Any, Any] = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: Any, compute: Callable[[], Any]) -> Any:
         if self.maxsize <= 0:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return compute()
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            value = compute()
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._data.move_to_end(key)
+                return value
+        value = compute()
+        with self._lock:
+            existing = self._data.get(key, _MISSING)
+            if existing is not _MISSING:
+                return existing
             self._data[key] = value
-            if len(self._data) > self.maxsize:
+            while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
-            return value
-        self.hits += 1
-        self._data.move_to_end(key)
         return value
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def info(self) -> CacheInfo:
-        return CacheInfo(self.hits, self.misses, len(self._data), self.maxsize)
+        with self._lock:
+            return CacheInfo(self.hits, self.misses, len(self._data), self.maxsize)
+
+
+_MISSING = object()
+
+
+class MutationBatch:
+    """A transactional group of :meth:`Database.install` mutations.
+
+    Entered via ``with db.batch():`` — installs inside the block are
+    *staged*: queries keep seeing the pre-batch store, and on successful
+    exit all staged relations are swapped in as one store replacement
+    with one relation-aware invalidation.  If the block raises, nothing
+    is applied.
+    """
+
+    __slots__ = ("db", "_staged")
+
+    def __init__(self, db: "Database") -> None:
+        self.db = db
+        self._staged: "OrderedDict[str, frozenset]" = OrderedDict()
+
+    def stage(self, name: str, triples: Iterable[Triple]) -> None:
+        self._staged[name] = frozenset(triples)
+
+    def __enter__(self) -> "MutationBatch":
+        if self.db._batch is not None:
+            raise ReproError("already inside a mutation batch")
+        self.db._batch = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.db._batch = None
+        if exc_type is not None:
+            return False  # discard the staged mutations, propagate
+        if self._staged:
+            store = self.db.store
+            for name, triples in self._staged.items():
+                store = store.with_relation(name, triples)
+            self.db.store = store
+            self.db._invalidate(self._staged)
+        return False
 
 
 class Database:
@@ -186,10 +275,18 @@ class Database:
         self._results = _LRU(cache_size)
         self._plans = _LRU(cache_size)
         self._aux = _LRU(cache_size)
-        #: Bumped on :meth:`install`; part of every cache key, so keys
-        #: are semantically ``(expr, store)`` without hashing the store.
-        self._epoch = 0
-        #: Set by :meth:`from_rdf`; used by :meth:`query_nsparql`.
+        #: Per-relation versions: bumped by :meth:`install` for exactly
+        #: the mutated relations.  Every cache key embeds the versions of
+        #: the relations its expression mentions (its dependency set), so
+        #: a mutation invalidates precisely the dependent entries.
+        self._rel_versions: dict[str, int] = {}
+        #: Bumped on *every* mutation — the dependency token of
+        #: Universe-using expressions (U spans the whole active domain)
+        #: and of the auxiliary frontend cache.
+        self._store_version = 0
+        #: The active :class:`MutationBatch`, if any.
+        self._batch: MutationBatch | None = None
+        #: Set by :meth:`from_rdf`; used by the nSPARQL frontend.
         self.document = None
 
     # ------------------------------------------------------------------ #
@@ -219,13 +316,13 @@ class Database:
     @classmethod
     def from_rdf(cls, document: Any, relation: str = "E", **kwargs: Any) -> "Database":
         """A session over an RDF document; keeps the document around so
-        :meth:`query_nsparql` can use the Theorem 1 axis semantics."""
+        the nSPARQL frontend can use the Theorem 1 axis semantics."""
         db = cls(document.to_triplestore(relation), **kwargs)
         db.document = document
         return db
 
     # ------------------------------------------------------------------ #
-    # Core query path: parse → optimize → plan → execute, all cached
+    # Core query path: compile → canonicalize → plan → bind → execute
     # ------------------------------------------------------------------ #
 
     def _coerce(self, query: Query) -> Expr:
@@ -233,66 +330,205 @@ class Database:
             return parse_expr(query)
         return query
 
-    def prepare(self, query: Query) -> Expr:
+    def _logical(self, query: Query) -> Expr:
         """The (optionally optimised) logical expression for ``query``."""
         expr = self._coerce(query)
         return optimize_expr(expr) if self.optimize else expr
 
-    def plan(self, query: Query) -> PlanOp:
-        """The cached physical plan the session's engine would execute.
+    def _dep_token(self, expr: Expr) -> tuple:
+        """The expression's dependency versions — part of every cache key.
 
-        Raises :class:`~repro.errors.ReproError` subclasses on parse
-        errors; engines without a planner (e.g. NaiveEngine) are
-        planned with the default compiler for inspection purposes.
+        An entry keyed with a stale token is simply never hit again
+        (and ages out of the LRU); entries whose relations were not
+        mutated keep matching.  ``U`` reads the whole active domain, so
+        Universe-using expressions depend on every mutation.
         """
-        expr = self.prepare(query)
+        if any(isinstance(n, Universe) for n in expr.walk()):
+            return ("U", self._store_version)
+        return tuple(
+            (name, self._rel_versions.get(name, 0))
+            for name in sorted(expr.relation_names())
+        )
+
+    def query(self, query: Any, lang: str = "trial", **bindings: Any) -> ResultSet:
+        """Evaluate a query in any registered language — the v2 front door.
+
+        ``query`` is language source text (or the language's AST — a
+        TriAL :class:`Expr`, a parsed Datalog program, a GXPath path,
+        …); ``lang`` selects the compile step from the language
+        registry (:data:`repro.api.LANGUAGES`).  ``$name`` parameters in
+        the query are bound from keyword arguments.  Returns a lazy
+        :class:`~repro.api.ResultSet`; binary-convention languages
+        (gxpath/rpq/nre) conventionally read ``.pairs()`` off it.
+        """
+        compiled = get_language(lang).compile(self, query)
+        if isinstance(compiled, NativeQuery):
+            if bindings:
+                raise ReproError(f"{lang} queries take no $parameters")
+            return ResultSet.from_set(compiled.run(self))
+        fallback: NativeQuery | None = None
+        if isinstance(compiled, tuple):
+            compiled, fallback = compiled
+        try:
+            return self._run_expr(compiled, bindings)
+        except EvaluationBudgetError:
+            if fallback is None:
+                raise
+            # Negated Datalog literals translate to U-based complements,
+            # which materialise cubically; the native evaluator negates
+            # per-rule instead, so large stores fall back to it.
+            return ResultSet.from_set(fallback.run(self))
+
+    def prepare(self, query: Any, lang: str = "trial") -> PreparedStatement:
+        """Compile a (possibly ``$param``-placeholder) query once.
+
+        The returned :class:`~repro.api.PreparedStatement` binds
+        constants into the cached physical plan per
+        :meth:`~repro.api.PreparedStatement.execute` — no re-parsing,
+        no re-planning, on any backend.  Languages without an algebraic
+        translation (nSPARQL, non-fragment Datalog) cannot be prepared.
+        """
+        compiled = get_language(lang).compile(self, query)
+        if isinstance(compiled, tuple):
+            compiled = compiled[0]
+        if isinstance(compiled, NativeQuery):
+            raise ReproError(
+                f"{lang} query has no algebraic translation and cannot be "
+                "prepared; run it with query(...)"
+            )
+        expr = optimize_expr(compiled) if self.optimize else compiled
+        return PreparedStatement(self, expr, lang)
+
+    def _run_expr(self, expr: Expr, bindings: Mapping[str, Any]) -> ResultSet:
+        """Execute a TriAL expression with ``bindings`` for its parameters."""
+        check_bindings(expr_params(expr), bindings)
+        key = (
+            expr,
+            tuple(sorted(bindings.items(), key=lambda kv: kv[0])),
+            self._dep_token(expr),
+            self.backend,
+        )
+        payload = self._results.get(key, lambda: self._compute_payload(expr, bindings))
+        return self._wrap(payload)
+
+    def _compute_payload(self, expr: Expr, bindings: Mapping[str, Any]):
+        prepared = optimize_expr(expr) if self.optimize else expr
+        canonical, consts = canonicalize_constants(prepared)
+        return self._execute_payload(canonical, {**consts, **bindings})
+
+    def _execute_payload(self, canonical: Expr, all_bindings: Mapping[str, Any]):
+        """Run a canonical (parameterized) expression under a full binding.
+
+        Planner engines execute the cached parameterized plan with the
+        constants bound in (:func:`repro.core.params.bind_plan`);
+        columnar/sharded engines return the undecoded packed keys so
+        the :class:`ResultSet` can decode lazily.  Non-planner engines
+        evaluate the substituted constant expression directly.
+        """
+        engine = self.engine
+        if getattr(engine, "use_planner", False) and hasattr(engine, "execute_plan"):
+            plan = self._plan_canonical(canonical)
+            bound = bind_plan(plan, all_bindings)
+            if hasattr(engine, "execute_plan_keys"):
+                cs, keys = engine.execute_plan_keys(bound, self.store)
+                return _ColumnarRows(cs, keys)
+            return _SetRows(engine.execute_plan(bound, self.store))
+        return _SetRows(
+            engine.evaluate(substitute_params(canonical, all_bindings), self.store)
+        )
+
+    def _plan_canonical(self, canonical: Expr) -> PlanOp:
+        """The cached parameterized plan for one canonical expression."""
+        key = (canonical, self._dep_token(canonical), self.backend)
         compiler = getattr(self.engine, "compile", None)
         if compiler is None:
             from repro.core.plan import compile_plan
 
             return self._plans.get(
-                (expr, self._epoch, self.backend),
-                lambda: compile_plan(expr, self.store, backend=self.backend),
+                key, lambda: compile_plan(canonical, self.store, backend=self.backend)
             )
-        return self._plans.get(
-            (expr, self._epoch, self.backend), lambda: compiler(expr, self.store)
-        )
+        return self._plans.get(key, lambda: compiler(canonical, self.store))
 
-    def query(self, query: Query) -> TripleSet:
-        """Evaluate a TriAL(*) expression (or its text syntax) — cached."""
-        expr = self._coerce(query)
-        return self._results.get(
-            (expr, self._epoch, self.backend), lambda: self._evaluate(expr)
-        )
+    def _execute_canonical(
+        self,
+        expr: Expr,
+        canonical: Expr,
+        all_bindings: Mapping[str, Any],
+    ) -> ResultSet:
+        """Prepared-statement execution: cached per (statement, binding).
 
-    def _evaluate(self, expr: Expr) -> TripleSet:
-        prepared = optimize_expr(expr) if self.optimize else expr
-        use_planner = getattr(self.engine, "use_planner", False)
-        if use_planner and hasattr(self.engine, "execute_plan"):
-            plan = self._plans.get(
-                (prepared, self._epoch, self.backend),
-                lambda: self.engine.compile(prepared, self.store),
+        The key carries the *full* binding — user parameters plus the
+        canonicalized constants — because statements differing only in
+        embedded constants share one canonical expression.
+        """
+        key = (
+            "stmt",
+            canonical,
+            tuple(sorted(all_bindings.items(), key=lambda kv: kv[0])),
+            self._dep_token(expr),
+            self.backend,
+        )
+        payload = self._results.get(
+            key, lambda: self._execute_payload(canonical, all_bindings)
+        )
+        return self._wrap(payload)
+
+    @staticmethod
+    def _wrap(payload) -> ResultSet:
+        # The rows payload object itself is what the result cache holds,
+        # so its lazily-decoded state (sort order, decoded frozenset) is
+        # shared across repeated queries; only the window state of the
+        # ResultSet view is per-call.
+        return ResultSet(payload)
+
+    def plan(self, query: Query) -> PlanOp:
+        """The physical plan the session's engine would execute — cached.
+
+        Shown with the query's own constants (the execution path shares
+        one canonicalized plan across constants; see :meth:`prepare`).
+        Raises :class:`~repro.errors.ReproError` subclasses on parse
+        errors; engines without a planner (e.g. NaiveEngine) are
+        planned with the default compiler for inspection purposes.
+        """
+        expr = self._logical(query)
+        key = (expr, self._dep_token(expr), self.backend)
+        compiler = getattr(self.engine, "compile", None)
+        if compiler is None:
+            from repro.core.plan import compile_plan
+
+            return self._plans.get(
+                key, lambda: compile_plan(expr, self.store, backend=self.backend)
             )
-            return self.engine.execute_plan(plan, self.store)
-        return self.engine.evaluate(prepared, self.store)
-
-    def query_pairs(self, query: Query) -> frozenset:
-        """π₁,₃ of :meth:`query` — the binary-query convention of §6.2."""
-        return project13(self.query(query))
+        return self._plans.get(key, lambda: compiler(expr, self.store))
 
     def explain(self, query: Query, physical: bool = False) -> str:
         """A logical analysis of ``query``, or the physical plan text."""
         from repro.core.explain import explain, explain_physical
 
-        expr = self.prepare(query)
+        expr = self._logical(query)
         if physical:
             return explain_physical(
                 expr, self.store, engine=self.engine, backend=self.backend
             )
         return explain(expr).summary()
 
+    def explain_report(self, query: Any, lang: str = "trial") -> ExplainReport:
+        """The structured explain — logical tree, physical ops, costs,
+        backend and shard strategies — with ``.to_json()``."""
+        compiled = get_language(lang).compile(self, query)
+        if isinstance(compiled, tuple):
+            compiled = compiled[0]
+        if isinstance(compiled, NativeQuery):
+            raise ReproError(
+                f"{lang} query has no algebraic translation to explain"
+            )
+        expr = optimize_expr(compiled) if self.optimize else compiled
+        return _build_explain_report(
+            expr, self.store, engine=self.engine, backend=self.backend
+        )
+
     # ------------------------------------------------------------------ #
-    # Composition / cache lifecycle
+    # Mutations / cache lifecycle
     # ------------------------------------------------------------------ #
 
     def install(self, name: str, triples_or_query: Query | Iterable[Triple]) -> None:
@@ -300,20 +536,42 @@ class Database:
 
         Accepts either raw triples or a query whose *result* is
         installed.  The store object is replaced (stores stay immutable)
-        and all caches are invalidated.
+        and exactly the cache entries depending on ``name`` are
+        invalidated.  Inside a :meth:`batch`, the mutation is staged —
+        queries see it only after the batch commits.
         """
         if isinstance(triples_or_query, (Expr, str)):
-            triples = self.query(triples_or_query)
+            triples: Iterable[Triple] = self.query(triples_or_query).to_set()
         else:
             triples = triples_or_query
+        if self._batch is not None:
+            self._batch.stage(name, triples)
+            return
         self.store = self.store.with_relation(name, triples)
-        self._invalidate()
+        self._invalidate((name,))
 
-    def _invalidate(self) -> None:
-        self._epoch += 1
-        self._results.clear()
-        self._plans.clear()
-        self._aux.clear()
+    def batch(self) -> MutationBatch:
+        """A transactional mutation batch::
+
+            with db.batch():
+                db.install("A", ...)
+                db.install("B", ...)
+
+        Staged installs apply (and invalidate, relation-aware) once on
+        exit; an exception inside the block discards them all.
+        """
+        return MutationBatch(self)
+
+    def _invalidate(self, names: Iterable[str]) -> None:
+        """Relation-aware invalidation: age the mutated relations' versions.
+
+        Dependent cache entries (recorded in each key as the dependency
+        token captured at compile time) stop matching and age out of
+        the LRU; everything else stays warm.
+        """
+        self._store_version += 1
+        for name in names:
+            self._rel_versions[name] = self._rel_versions.get(name, 0) + 1
 
     def clear_cache(self) -> None:
         """Drop all cached plans and results (counters are kept)."""
@@ -336,78 +594,53 @@ class Database:
         (e.g. per-pattern NRE pair sets in nSPARQL evaluation) so they
         still benefit from — and are invalidated with — the session cache.
         """
-        return self._aux.get((key, self._epoch), compute)
+        return self._aux.get((key, self._store_version), compute)
 
     # ------------------------------------------------------------------ #
-    # Frontends: graph languages, nSPARQL, Datalog
+    # Deprecated pre-v2 surface (thin shims; see README migration table)
     # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _deprecated(old: str, new: str) -> None:
+        warnings.warn(
+            f"Database.{old} is deprecated; use {new} instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def query_pairs(self, query: Query) -> frozenset:
+        """Deprecated: use ``query(...).pairs()``."""
+        self._deprecated("query_pairs(q)", "query(q).pairs()")
+        return self.query(query).pairs()
 
     def query_gxpath(self, path: Any) -> frozenset:
-        """Evaluate a GXPath path expression (text or AST) — node pairs.
-
-        The expression is translated to TriAL* (Theorem 7) and executed
-        through the planner; results are π₁,₃-projected.
-        """
-        from repro.graphdb.gxpath_parser import parse_gxpath
-        from repro.translations.graph_to_trial import gxpath_to_trial
-
-        if isinstance(path, str):
-            path = parse_gxpath(path)
-        return self.query_pairs(gxpath_to_trial(path))
+        """Deprecated: use ``query(path, lang="gxpath").pairs()``."""
+        self._deprecated("query_gxpath(p)", 'query(p, lang="gxpath").pairs()')
+        return self.query(path, lang="gxpath").pairs()
 
     def query_rpq(self, regex: Any) -> frozenset:
-        """Evaluate a regular path query (Corollary 2's translation)."""
-        from repro.translations.graph_to_trial import rpq_to_trial
-
-        return self.query_pairs(rpq_to_trial(regex))
+        """Deprecated: use ``query(regex, lang="rpq").pairs()``."""
+        self._deprecated("query_rpq(r)", 'query(r, lang="rpq").pairs()')
+        return self.query(regex, lang="rpq").pairs()
 
     def query_nre(self, nre: Any) -> frozenset:
-        """Evaluate a nested regular expression over the graph encoding."""
-        from repro.translations.graph_to_trial import nre_to_trial
-
-        return self.query_pairs(nre_to_trial(nre))
+        """Deprecated: use ``query(nre, lang="nre").pairs()``."""
+        self._deprecated("query_nre(n)", 'query(n, lang="nre").pairs()')
+        return self.query(nre, lang="nre").pairs()
 
     def query_nsparql(self, nsparql_query: Any) -> frozenset:
-        """Evaluate an :class:`~repro.rdf.nsparql_query.NSparqlQuery`.
-
-        Requires a session built with :meth:`from_rdf` (the axis
-        semantics needs the document, not just its triples); per-pattern
-        NRE results are memoised in the session cache.
-        """
-        if self.document is None:
-            raise ReproError(
-                "query_nsparql needs a Database.from_rdf session "
-                "(the nSPARQL axes are defined on the RDF document)"
-            )
-        return nsparql_query.evaluate(self.document, db=self)
+        """Deprecated: use ``query(q, lang="nsparql").to_set()``."""
+        self._deprecated("query_nsparql(q)", 'query(q, lang="nsparql").to_set()')
+        return self.query(nsparql_query, lang="nsparql").to_set()
 
     def query_datalog(self, program: Any, answer: str | None = None) -> TripleSet:
-        """Run a (Reach)TripleDatalog¬ program (text or parsed).
+        """Deprecated: use ``query(program, lang="datalog").to_set()``."""
+        self._deprecated("query_datalog(p)", 'query(p, lang="datalog").to_set()')
+        if isinstance(program, str) and answer is not None:
+            from repro.datalog import parse_program
 
-        Programs inside the paper's fragments are translated to TriAL(*)
-        (Propositions 2/3) and executed through the planner — sharing the
-        session's plan/result caches; anything the translation rejects
-        falls back to the native stratified evaluator.
-        """
-        from repro.datalog import datalog_to_trial, parse_program, run_program
-
-        if isinstance(program, str):
-            program = (
-                parse_program(program, answer=answer)
-                if answer is not None
-                else parse_program(program)
-            )
-        try:
-            expr = datalog_to_trial(program)
-        except ReproError:
-            return run_program(program, self.store)
-        try:
-            return self.query(expr)
-        except EvaluationBudgetError:
-            # Negated literals translate to U-based complements, which
-            # materialise cubically; the native evaluator negates
-            # per-rule instead, so large stores fall back to it.
-            return run_program(program, self.store)
+            program = parse_program(program, answer=answer)
+        return self.query(program, lang="datalog").to_set()
 
     def __repr__(self) -> str:
         info = self._results.info()

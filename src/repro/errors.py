@@ -57,6 +57,21 @@ class FragmentError(AlgebraError):
     """
 
 
+class UnboundParameterError(AlgebraError):
+    """A parameterized expression was executed without binding a parameter.
+
+    Raised when a ``$name`` placeholder (:class:`repro.core.positions.Param`)
+    reaches evaluation unbound — e.g. ``stmt.execute()`` missing a keyword,
+    or an engine handed a parameterized plan directly.
+    """
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()):
+        self.name = name
+        self.known = known
+        hint = f" (expression parameters: {', '.join(known)})" if known else ""
+        super().__init__(f"parameter ${name} is not bound{hint}")
+
+
 class ParseError(ReproError):
     """Syntax errors in any of the small text languages we parse."""
 

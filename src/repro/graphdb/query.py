@@ -10,8 +10,8 @@ caches shared across queries on the same graph::
     from repro.graphdb import graph_database
 
     db = graph_database(graph)
-    db.query_gxpath("a/b-")         # node pairs, planner + cache
-    db.query_rpq("a.(b)*")
+    db.query("a/b-", lang="gxpath").pairs()   # node pairs, planner + cache
+    db.query("a.(b)*", lang="rpq").pairs()
 
 Cross-validation against the native evaluators lives in the test suite.
 """
@@ -38,11 +38,11 @@ def gxpath_pairs(graph_or_db: Any, path: Any) -> frozenset:
     Accepts a :class:`GraphDB` (a throwaway session is created) or an
     existing :class:`~repro.db.Database` (its caches are reused).
     """
-    db = graph_or_db if hasattr(graph_or_db, "query_gxpath") else graph_database(graph_or_db)
-    return db.query_gxpath(path)
+    db = graph_or_db if hasattr(graph_or_db, "query") else graph_database(graph_or_db)
+    return db.query(path, lang="gxpath").pairs()
 
 
 def rpq_pairs(graph_or_db: Any, regex: Any) -> frozenset:
     """Evaluate a regular path query via the facade."""
-    db = graph_or_db if hasattr(graph_or_db, "query_rpq") else graph_database(graph_or_db)
-    return db.query_rpq(regex)
+    db = graph_or_db if hasattr(graph_or_db, "query") else graph_database(graph_or_db)
+    return db.query(regex, lang="rpq").pairs()

@@ -182,6 +182,51 @@ class ColumnarStore:
             )
         )
 
+    def decode_list(self, keys: np.ndarray) -> list[Triple]:
+        """Decode packed keys into object triples, *preserving key order*.
+
+        The streaming counterpart of :meth:`decode_triples`: cursors
+        hand it one window of keys at a time, so a ``limit``-style read
+        decodes only the rows it actually yields.
+        """
+        columns = self.unpack(keys)
+        arr = self._obj_array
+        return list(
+            zip(
+                arr[columns[:, 0]].tolist(),
+                arr[columns[:, 1]].tolist(),
+                arr[columns[:, 2]].tolist(),
+            )
+        )
+
+    def decode_pairs(self, keys: np.ndarray) -> frozenset[tuple[Obj, Obj]]:
+        """π₁,₃ of a packed-key array, deduplicated *before* decoding.
+
+        The pair projection happens on integer codes (pack with radix
+        ``n``, sorted-unique, then decode), so heavily duplicated
+        subject/object pairs never reach the Python-object layer.
+        """
+        columns = self.unpack(keys)
+        pair_keys = sorted_unique(columns[:, 0] * self.radix + columns[:, 2])
+        arr = self._obj_array
+        return frozenset(
+            zip(
+                arr[(pair_keys // self.radix)].tolist(),
+                arr[(pair_keys % self.radix)].tolist(),
+            )
+        )
+
+    def encode_triple_key(self, triple: Triple) -> int:
+        """The packed key of one triple, or ``-1`` when any component is
+        outside the store's universe (no stored key is negative)."""
+        code = self._code_of
+        s = code.get(triple[0], -1)
+        p = code.get(triple[1], -1)
+        o = code.get(triple[2], -1)
+        if s < 0 or p < 0 or o < 0:
+            return -1
+        return (s * self.radix + p) * self.radix + o
+
     # ------------------------------------------------------------------ #
     # Relations
     # ------------------------------------------------------------------ #

@@ -48,7 +48,49 @@ class TestQuery:
 
     def test_limit_truncates(self, store_path, capsys):
         assert main(["query", store_path, "E", "--limit", "2"]) == 0
-        assert "more" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "more" in out
+        assert "# 7 triples" in out  # total row count still reported
+
+    def test_limit_decodes_only_shown_rows(self, store_path, capsys, monkeypatch):
+        from repro.triplestore.columnar import ColumnarStore
+
+        decoded = []
+        real = ColumnarStore.decode_list
+
+        def counting(self, keys):
+            decoded.append(len(keys))
+            return real(self, keys)
+
+        monkeypatch.setattr(ColumnarStore, "decode_list", counting)
+        code = main(
+            ["query", store_path, "E", "--backend", "columnar", "--limit", "2"]
+        )
+        assert code == 0
+        assert sum(decoded) == 2  # the full 7-row relation was never decoded
+        assert "# 7 triples" in capsys.readouterr().out
+
+    def test_param_binding(self, store_path, capsys):
+        code = main(
+            ["query", store_path, "select[2=$label](E)", "--param", "label=part_of"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "part_of" in out and "# 4 triples" in out
+
+    def test_unbound_param_is_reported(self, store_path, capsys):
+        assert main(["query", store_path, "select[2=$label](E)"]) == 1
+        assert "label" in capsys.readouterr().err
+
+    def test_malformed_param_is_reported(self, store_path, capsys):
+        code = main(["query", store_path, "E", "--param", "nonsense"])
+        assert code == 1
+        assert "--param" in capsys.readouterr().err
+
+    def test_gxpath_lang_prints_pairs(self, store_path, capsys):
+        code = main(["query", store_path, "next", "--lang", "gxpath"])
+        assert code == 0
+        assert "pairs" in capsys.readouterr().out
 
     def test_parse_error_is_reported(self, store_path, capsys):
         assert main(["query", store_path, "join[**](E)"]) == 1
@@ -96,3 +138,32 @@ class TestExplain:
     def test_explain_with_optimize(self, capsys):
         assert main(["explain", "select[](E) | select[](E)", "--optimize"]) == 0
         assert "TriAL" in capsys.readouterr().out
+
+    def test_explain_json_is_valid_json(self, store_path, capsys):
+        import json
+
+        code = main(
+            ["explain", "join[1,2,3'; 3=1'](E, E)", "--json", "--store", store_path]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["plan"]["op"] == "HashJoin"
+        assert data["statistics"] == {"triples": 7, "objects": 11}
+
+    def test_explain_json_sharded_strategies(self, capsys):
+        import json
+
+        code = main(
+            [
+                "explain",
+                "join[1,2,3'; 3=1'](E, E)",
+                "--json",
+                "--backend",
+                "sharded",
+                "--shards",
+                "4",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["plan"]["shard_strategy"]

@@ -43,7 +43,7 @@ class TestQueryPath:
         assert db.query(query_q()) == evaluate(query_q(), figure1())
 
     def test_query_pairs_projects(self, db):
-        assert db.query_pairs(query_q()) == project13(db.query(query_q()))
+        assert db.query(query_q()).pairs() == project13(db.query(query_q()).to_set())
 
     def test_parse_errors_surface(self, db):
         with pytest.raises(ReproError):
@@ -151,13 +151,13 @@ class TestGraphFrontends:
         g = random_graph(6, 10, seed=7)
         nre = parse_nre("a.[b]")
         db = graph_database(g)
-        assert db.query_nre(nre) == evaluate_nre(g, nre)
+        assert db.query(nre, lang="nre").pairs() == evaluate_nre(g, nre)
 
     def test_graph_database_session_caches_across_queries(self):
         g = random_graph(5, 8, seed=21)
         db = graph_database(g)
-        db.query_gxpath("a/b-")
-        db.query_gxpath("a/b-")
+        db.query("a/b-", lang="gxpath")
+        db.query("a/b-", lang="gxpath")
         assert db.cache_info()["results"].hits >= 1
 
 
@@ -169,9 +169,9 @@ class TestRdfAndDatalogFrontends:
             select=("x", "y"),
         )
         db = Database.from_rdf(doc)
-        assert db.query_nsparql(q) == q.evaluate(doc)
+        assert db.query(q, lang="nsparql") == q.evaluate(doc)
         # Pattern pair sets are memoised in the session.
-        db.query_nsparql(q)
+        db.query(q, lang="nsparql")
         assert db.cache_info()["aux"].hits >= 1
 
     def test_nsparql_requires_rdf_session(self, db):
@@ -180,17 +180,17 @@ class TestRdfAndDatalogFrontends:
             select=("x", "y"),
         )
         with pytest.raises(ReproError):
-            db.query_nsparql(q)
+            db.query(q, lang="nsparql")
 
     def test_datalog_translated_path_matches_native(self):
         store = transport_network(n_cities=8, n_services=2, n_companies=2, seed=9)
         program = trial_to_datalog(query_q())
         db = Database(store)
-        assert db.query_datalog(program) == run_program(program, store)
+        assert db.query(program, lang="datalog") == run_program(program, store)
 
     def test_datalog_text_input(self, db):
-        result = db.query_datalog(
-            "R(x,y,z) :- E(x,y,z).\nAns(x,y,z) :- R(x,y,z).\n"
+        result = db.query(
+            "R(x,y,z) :- E(x,y,z).\nAns(x,y,z) :- R(x,y,z).\n", lang="datalog"
         )
         assert result == figure1().relation("E")
 
@@ -200,7 +200,42 @@ class TestRdfAndDatalogFrontends:
         program = parse_program(
             "P(x,z) :- E(x,y,z).\nAns(x,y,z) :- E(x,y,z), P(x, z).\n"
         )
-        assert db.query_datalog(program) == run_program(program, figure1())
+        assert db.query(program, lang="datalog") == run_program(program, figure1())
+
+
+class TestDeprecatedShims:
+    """The pre-v2 query_* surface: still correct, but warns."""
+
+    def test_query_pairs_shim(self, db):
+        with pytest.warns(DeprecationWarning, match="query_pairs"):
+            pairs = db.query_pairs(query_q())
+        assert pairs == db.query(query_q()).pairs()
+
+    def test_graph_language_shims(self):
+        g = random_graph(5, 8, seed=21)
+        db = graph_database(g)
+        with pytest.warns(DeprecationWarning, match="gxpath"):
+            assert db.query_gxpath("a/b-") == db.query("a/b-", lang="gxpath").pairs()
+        with pytest.warns(DeprecationWarning, match="rpq"):
+            assert db.query_rpq("a.(b)*") == db.query("a.(b)*", lang="rpq").pairs()
+        nre = parse_nre("a.[b]")
+        with pytest.warns(DeprecationWarning, match="nre"):
+            assert db.query_nre(nre) == db.query(nre, lang="nre").pairs()
+
+    def test_datalog_shim(self, db):
+        text = "R(x,y,z) :- E(x,y,z).\nAns(x,y,z) :- R(x,y,z).\n"
+        with pytest.warns(DeprecationWarning, match="datalog"):
+            assert db.query_datalog(text) == figure1().relation("E")
+
+    def test_nsparql_shim(self):
+        doc = RDFGraph(figure1().relation("E"))
+        q = NSparqlQuery(
+            patterns=[Pattern(QVar("x"), parse_nre("next"), QVar("y"))],
+            select=("x", "y"),
+        )
+        db = Database.from_rdf(doc)
+        with pytest.warns(DeprecationWarning, match="nsparql"):
+            assert db.query_nsparql(q) == q.evaluate(doc)
 
 
 class TestConstructors:

@@ -66,6 +66,40 @@ def _render(query: str, backend: str) -> str:
     return explain_physical(expr, GOLDEN_STORE, engine=engine) + "\n"
 
 
+def _render_json(query: str, backend: str) -> str:
+    from repro.api import explain_report
+
+    expr = parse(query)
+    engine = BACKENDS[backend]()
+    return explain_report(expr, GOLDEN_STORE, engine=engine).to_json() + "\n"
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+@pytest.mark.parametrize("name,query", CASES, ids=[c[0] for c in CASES])
+def test_explain_json_matches_golden(name, query, backend):
+    """The structured report (``explain --json``) is pinned like the text.
+
+    Every golden must parse as JSON regardless of drift, so a rendering
+    bug can never hide behind an UPDATE_GOLDEN refresh.
+    """
+    import json
+
+    rendered = _render_json(query, backend)
+    json.loads(rendered)
+    path = os.path.join(GOLDEN_DIR, f"{name}_{backend}.json")
+    if os.environ.get("UPDATE_GOLDEN"):
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(rendered)
+        pytest.skip(f"regenerated {path}")
+    with open(path, encoding="utf-8") as fp:
+        expected = fp.read()
+    assert rendered == expected, (
+        f"explain --json output drifted from {path}; if the plan "
+        "change is intentional, regenerate with UPDATE_GOLDEN=1"
+    )
+
+
 @pytest.mark.parametrize("backend", sorted(BACKENDS))
 @pytest.mark.parametrize("name,query", CASES, ids=[c[0] for c in CASES])
 def test_explain_physical_matches_golden(name, query, backend):
