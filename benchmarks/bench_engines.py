@@ -11,11 +11,14 @@ records two A/B comparisons:
 * the vectorised columnar backend (:class:`VectorEngine`) against the
   set backend (:class:`FastEngine`) on join-heavy and star-heavy
   workloads → ``BENCH_VECTOR.json``;
-* the shard-count sweep: the hash-sharded backend
-  (:class:`ShardedEngine`) at ``shards ∈ {2, 4, 8}`` against the same
-  executor at ``shards=1`` (one shard = the degenerate unsharded run
-  through identical code, so the sweep isolates exactly what
-  partitioning buys) → ``BENCH_SHARD.json``.
+* the shard × executor sweep: the hash-sharded backend
+  (:class:`ShardedEngine`) at ``shards ∈ {4, 8}`` under both shard
+  executors (in-process threads and the cross-process worker pool with
+  shared-memory stores) against the same engine at ``shards=1`` (one
+  shard = the degenerate unsharded run through identical code, so the
+  sweep isolates exactly what partitioning and the worker pool buy),
+  cross-checked against the cubic :class:`NaiveEngine` oracle on
+  size-capped replica stores → ``BENCH_SHARD.json``.
 
 ::
 
@@ -100,7 +103,8 @@ VECTOR_JOIN_HEAVY = ("join-chain", "eta-join", "neq-join")
 VECTOR_STAR_HEAVY = ("reach-star-any", "reach-star-same-label", "general-star")
 
 
-#: Shard-sweep queries: ``name -> (expression, store factory)``.
+#: Shard-sweep queries: ``name -> (expression, store factory, oracle
+#: store factory)``.
 #:
 #: Every query wraps its result in a selective filter so the timings
 #: measure execution, not the final decode to Python triples (which is
@@ -111,18 +115,29 @@ VECTOR_STAR_HEAVY = ("reach-star-any", "reach-star-same-label", "general-star")
 #: join pays one exchange, the chain keeps its heavy intermediates
 #: sharded end to end (lazy re-partitioning: the lost join key never
 #: forces a merge), and the η join exchanges both sides on ρ-codes —
-#: its store uses 200 data-value classes so the η key is selective.
+#: its store uses 4000 data-value classes so the η key is selective.
+#: Their stores hold 130k–160k triples so the cross-process executor
+#: amortises its pipe/shm overheads the way real workloads would.
 #: The star entries guard the fixpoints: a sparse reach star (the store
 #: is sized above the dense-matrix guard) and a general star, both
-#: paying per-round frontier exchanges — sharding's worst case.
+#: paying per-round frontier exchanges — sharding's worst case.  Both
+#: star stores sit just above the dispatch threshold so the process
+#: executor genuinely engages instead of falling back to threads.
+#:
+#: The third tuple element builds a small replica of the same shape —
+#: the cubic :class:`NaiveEngine` (the paper's Theorem 3 semantics)
+#: evaluates it as an oracle, so a bug that made every executor agree
+#: on the wrong answer still fails the sweep.
 SHARD_WORKLOAD = {
     "co-partitioned-join": (
         select(join(R("E"), R("E"), "1,2,3'", "1=1'"), "1=3"),
-        lambda: random_store(400, 12000, seed=29),
+        lambda: random_store(4000, 160000, seed=29),
+        lambda: random_store(40, 300, seed=29),
     ),
     "repartition-join": (
         select(join(R("E"), R("E"), "1,2,3'", "3=1'"), "1=3"),
-        lambda: random_store(400, 12000, seed=29),
+        lambda: random_store(4000, 160000, seed=29),
+        lambda: random_store(40, 300, seed=29),
     ),
     "join-chain": (
         select(
@@ -131,19 +146,23 @@ SHARD_WORKLOAD = {
             ),
             "1=3",
         ),
-        lambda: random_store(400, 12000, seed=29),
+        lambda: random_store(13000, 130000, seed=29),
+        lambda: random_store(40, 300, seed=29),
     ),
     "eta-join": (
         select(join(R("E"), R("E"), "1,2,3'", "rho(3)=rho(1')"), "1=3"),
-        lambda: random_store(400, 12000, data_values=range(200), seed=37),
+        lambda: random_store(4000, 160000, data_values=range(4000), seed=37),
+        lambda: random_store(40, 300, data_values=range(40), seed=37),
     ),
     "reach-star-sparse": (
         select(star(R("E"), "1,2,3'", "3=1'"), "1=3"),
-        lambda: random_store(550, 4000, seed=31),
+        lambda: random_store(600, 4500, seed=31),
+        lambda: random_store(40, 220, seed=31),
     ),
     "general-star": (
         select(star(R("E"), "1,2,2'", "3=1'"), "1=3"),
-        lambda: random_store(150, 3000, seed=31),
+        lambda: random_store(200, 4500, seed=31),
+        lambda: random_store(30, 200, seed=31),
     ),
 }
 
@@ -157,6 +176,14 @@ SHARD_JOIN_HEAVY = (
 
 #: Shard counts swept against the shards=1 baseline.
 SHARD_COUNTS = (4, 8)
+
+#: Executors swept at each shard count: in-process thread tasks and the
+#: cross-process worker pool (shared-memory store attach, all-to-all
+#: shm exchange).  On a single-core host the process executor still
+#: wins the join-heavy group — the partitioning gains are algorithmic —
+#: but its parallel headroom only shows with real cores; the recorded
+#: JSON carries ``cpu_count`` so readers can judge the magnitudes.
+SHARD_EXECUTORS = ("thread", "process")
 
 
 @pytest.mark.parametrize("engine_name", list(ENGINES))
@@ -234,30 +261,49 @@ def run_vector_comparison(repeats: int = 7):
     return comparisons
 
 
-def run_shard_comparison(shard_counts=SHARD_COUNTS, repeats: int = 7):
-    """Time every SHARD_WORKLOAD query at each shard count vs shards=1.
+def run_shard_comparison(
+    shard_counts=SHARD_COUNTS,
+    executors=SHARD_EXECUTORS,
+    repeats: int = 5,
+):
+    """Time every SHARD_WORKLOAD query per (shard count, executor) vs shards=1.
 
     The baseline is the *same* sharded executor with one shard — the
     degenerate unsharded run through identical code — so speedups
-    measure partitioning itself, not engine plumbing.  Each store's
-    partition is cached (steady state, like the other comparisons) and
-    results are cross-checked.
+    measure partitioning (and, for ``executor="process"``, the worker
+    pool) itself, not engine plumbing.  Each store's partition and shm
+    publication are cached (steady state, like the other comparisons)
+    and results are cross-checked two ways: every candidate against the
+    single-shard result on the full store, and every (shard count,
+    executor) configuration against :class:`NaiveEngine` — the paper's
+    Theorem 3 semantics, cubic, hence size-capped — on a small replica
+    of the same store shape, with the dispatch threshold forced down so
+    the process path genuinely runs there.
     """
+    oracle = NaiveEngine()
     comparisons = []
-    for name, (expr, make_store) in SHARD_WORKLOAD.items():
+    for name, (expr, make_store, make_oracle_store) in SHARD_WORKLOAD.items():
+        small = make_oracle_store()
+        expected = oracle.evaluate(expr, small)
         store = make_store()
+        baseline = ShardedEngine(shards=1)
+        base_result = baseline.evaluate(expr, store)
         for k in shard_counts:
-            baseline = ShardedEngine(shards=1)
-            candidate = ShardedEngine(shards=k)
-            comparisons.append(
-                compare(
-                    f"{name}@shards={k}",
-                    baseline=lambda: baseline.evaluate(expr, store),
-                    candidate=lambda: candidate.evaluate(expr, store),
-                    repeats=repeats,
+            for executor in executors:
+                candidate = ShardedEngine(shards=k, executor=executor)
+                checker = ShardedEngine(shards=k, executor=executor, dispatch_min=0)
+                assert checker.evaluate(expr, small) == expected, (
+                    f"{name}@shards={k},{executor} disagrees with NaiveEngine"
                 )
-            )
-            assert candidate.evaluate(expr, store) == baseline.evaluate(expr, store)
+                comparisons.append(
+                    compare(
+                        f"{name}@shards={k},{executor}",
+                        baseline=lambda: baseline.evaluate(expr, store),
+                        candidate=lambda: candidate.evaluate(expr, store),
+                        repeats=repeats,
+                    )
+                )
+                assert candidate.evaluate(expr, store) == base_result
     return comparisons
 
 
@@ -272,7 +318,9 @@ def test_sharded_backend_not_slower_than_single_shard():
     """
 
     def attempt() -> list[str]:
-        comparisons = run_shard_comparison(shard_counts=(4,), repeats=3)
+        comparisons = run_shard_comparison(
+            shard_counts=(4,), executors=("thread",), repeats=3
+        )
         failures = [
             f"{c.name}: sharded {c.candidate_seconds:.6f}s vs "
             f"single-shard {c.baseline_seconds:.6f}s"
@@ -281,9 +329,61 @@ def test_sharded_backend_not_slower_than_single_shard():
         ]
         by_name = {c.name: c for c in comparisons}
         if not any(
-            by_name[f"{name}@shards=4"].speedup >= 1.0 for name in SHARD_JOIN_HEAVY
+            by_name[f"{name}@shards=4,thread"].speedup >= 1.0
+            for name in SHARD_JOIN_HEAVY
         ):
             failures.append(f"no ≥1x win in {'/'.join(SHARD_JOIN_HEAVY)}")
+        return failures
+
+    failures: list[str] = []
+    for _ in range(3):
+        failures = attempt()
+        if not failures:
+            return
+    raise AssertionError("; ".join(failures))
+
+
+def test_process_executor_not_slower_on_join_heavy():
+    """The cross-process worker pool must win where sharding wins.
+
+    Same methodology as the thread guard: 15% tolerance on the
+    join-heavy pairs, best of three attempts, a hard ≥1x win required
+    at shards=4.  The star fixpoints are recorded in BENCH_SHARD.json
+    but not asserted for the process executor — per-round frontier
+    exchanges over pipes are sharding's worst case and genuinely
+    hardware-dependent.  Gated on host parallelism: with a single core
+    the pool runs its workers time-sliced and the comparison measures
+    scheduler noise, and the ≥2.5x bar at shards=8 only makes sense
+    with eight cores to run on.
+    """
+    ncpu = os.cpu_count() or 1
+    if ncpu < 2:
+        pytest.skip("process-executor speedup guard needs >=2 cores")
+
+    def attempt() -> list[str]:
+        comparisons = run_shard_comparison(
+            shard_counts=(4, 8), executors=("process",), repeats=3
+        )
+        by_name = {c.name: c for c in comparisons}
+        failures = [
+            f"{c.name}: process {c.candidate_seconds:.6f}s vs "
+            f"single-shard {c.baseline_seconds:.6f}s"
+            for c in comparisons
+            if c.name.split("@")[0] in SHARD_JOIN_HEAVY
+            and c.candidate_seconds > c.baseline_seconds * 1.15
+        ]
+        if not any(
+            by_name[f"{name}@shards=4,process"].speedup >= 1.0
+            for name in SHARD_JOIN_HEAVY
+        ):
+            failures.append(f"no ≥1x win in {'/'.join(SHARD_JOIN_HEAVY)}")
+        if ncpu >= 8 and not any(
+            by_name[f"{name}@shards=8,process"].speedup >= 2.5
+            for name in SHARD_JOIN_HEAVY
+        ):
+            failures.append(
+                f"no ≥2.5x win at shards=8 in {'/'.join(SHARD_JOIN_HEAVY)}"
+            )
         return failures
 
     failures: list[str] = []
@@ -410,11 +510,13 @@ def main() -> int:
         "BENCH_SHARD.json",
         shard,
         meta={
-            "benchmark": "shard-count sweep: hash-sharded backend vs single shard",
-            "store": "per-workload random_store (join-heavy: 400 objects / 12000 triples; see SHARD_WORKLOAD)",
+            "benchmark": "shard x executor sweep: hash-sharded backend vs single shard",
+            "store": "per-workload random_store (join-heavy: 130k-160k triples; see SHARD_WORKLOAD)",
             "baseline": "ShardedEngine(shards=1) (degenerate unsharded run, same code path)",
-            "candidate": "ShardedEngine(shards=k) for k in (4, 8), subject-partitioned",
-            "method": "best-of-7 wall time per side (steady state; cached store partitions; selective outputs so decode does not dominate; candidate timed first and charged its own warm-up)",
+            "candidate": "ShardedEngine(shards=k, executor=e) for k in (4, 8), e in (thread, process), subject-partitioned",
+            "oracle": "NaiveEngine (Theorem 3 semantics, cubic) on a size-capped replica of each store shape, dispatch threshold forced down so the process path runs",
+            "cpu_count": os.cpu_count(),
+            "method": "best-of-5 wall time per side (steady state; cached store partitions and shm publications; selective outputs so decode does not dominate; candidate timed first and charged its own warm-up)",
         },
     )
     print()

@@ -466,6 +466,7 @@ def explain_report(
         backend_info = {
             "shards": getattr(engine, "shards", None),
             "key_position": getattr(engine, "key_pos", 0) + 1,
+            "executor": getattr(engine, "executor", None) or "thread",
         }
     logical = asdict(report)
     logical.pop("expression", None)
@@ -477,7 +478,8 @@ def explain_report(
             backend_name
             if not backend_info
             else f"{backend_name}({backend_info['shards']}-way, "
-            f"key position {backend_info['key_position']})"
+            f"key position {backend_info['key_position']}, "
+            f"executor {backend_info['executor']})"
         ),
         compiled_by=compiled_by,
         statistics=statistics,

@@ -46,6 +46,7 @@ from typing import Sequence
 
 from repro.api import ResultSet, explain_report
 from repro.core import ENGINE_REGISTRY, NaiveEngine, ShardedEngine, VectorEngine
+from repro.core.engines.sharded import SHARD_EXECUTORS
 from repro.core.optimizer import optimize
 from repro.core.parser import parse as parse_expr
 from repro.datalog import parse_program, validate_fragment
@@ -100,6 +101,8 @@ def _make_engine(args: argparse.Namespace):
     name = args.engine
     backend = getattr(args, "backend", None)
     shards = getattr(args, "shards", None)
+    executor = getattr(args, "executor", None)
+    workers = getattr(args, "workers", None)
     if backend in _BACKEND_ENGINES:
         # The backend names its engine; --engine may agree or be left at
         # its default, but any other engine contradicts the request.
@@ -118,12 +121,21 @@ def _make_engine(args: argparse.Namespace):
         )
     if shards is not None and name != "sharded":
         raise ReproError("--shards only applies with --backend sharded")
+    if executor is not None and name != "sharded":
+        raise ReproError("--executor only applies with --backend sharded")
+    if workers is not None and name != "sharded":
+        raise ReproError("--workers only applies with --backend sharded")
     if name in _BACKEND_ENGINES.values() and args.no_planner:
         # The planner seam *is* the columnar/sharded entry point; without
         # it the legacy set interpreter would silently run instead.
         raise ReproError(f"the {name} backend is planner-only; drop --no-planner")
     if name == "sharded":
-        return ShardedEngine(use_planner=not args.no_planner, shards=shards)
+        return ShardedEngine(
+            use_planner=not args.no_planner,
+            shards=shards,
+            executor=executor,
+            workers=workers,
+        )
     engine_cls = ENGINES[name]
     if engine_cls is NaiveEngine:
         return NaiveEngine()
@@ -189,11 +201,20 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         expr = optimize(expr)
     if args.shards is not None and args.backend != "sharded":
         raise ReproError("--shards only applies with --backend sharded")
+    if args.executor is not None and args.backend != "sharded":
+        raise ReproError("--executor only applies with --backend sharded")
+    if args.workers is not None and args.backend != "sharded":
+        raise ReproError("--workers only applies with --backend sharded")
     if args.json or args.physical:
         store = load_path(args.store) if args.store else None
         engine = (
-            ShardedEngine(shards=args.shards)
-            if args.backend == "sharded" and args.shards is not None
+            ShardedEngine(
+                shards=args.shards,
+                executor=args.executor,
+                workers=args.workers,
+            )
+            if args.backend == "sharded"
+            and (args.shards is not None or args.executor is not None)
             else None
         )
         if args.json:
@@ -242,6 +263,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="shard count for --backend sharded (default: REPRO_SHARDS or 4)",
+    )
+    q.add_argument(
+        "--executor",
+        choices=SHARD_EXECUTORS,
+        default=None,
+        help="shard executor for --backend sharded: in-process threads "
+        "(default) or a worker-process pool over shared memory "
+        "(default: REPRO_SHARD_EXECUTOR or thread)",
+    )
+    q.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --executor process "
+        "(default: REPRO_SHARD_WORKERS or one per shard, capped by cores)",
     )
     q.add_argument("--optimize", action="store_true", help="apply rewrites first")
     q.add_argument(
@@ -302,6 +338,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="shard count for --backend sharded (default: REPRO_SHARDS or 4)",
+    )
+    e.add_argument(
+        "--executor",
+        choices=SHARD_EXECUTORS,
+        default=None,
+        help="with --backend sharded: the shard executor the plan is "
+        "annotated for (thread or process)",
+    )
+    e.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --executor process",
     )
     e.set_defaults(func=_cmd_explain)
 

@@ -1,0 +1,960 @@
+"""Process-parallel shard execution: worker pool, exchange, coordinator.
+
+The thread executor in :mod:`repro.core.engines.sharded` is GIL-bound
+outside the numpy kernels; this module runs the *same* compiled plans
+shard-wise across long-lived **worker processes** instead:
+
+* the store is published once into shared memory
+  (:mod:`repro.triplestore.shm`); workers attach zero-copy;
+* each query ships the bound physical plan (picklable post-
+  ``bind_plan``) to every worker over its control pipe; workers execute
+  the plan SPMD-style with a :class:`_WorkerExecContext` — the standard
+  :class:`~repro.core.engines.sharded.ShardedExecContext` with its
+  collective seams overridden — owning the shards ``s`` with
+  ``s % nworkers == rank`` and holding empty placeholders elsewhere, so
+  every per-shard kernel runs unchanged;
+* cross-shard data movement (the re-hash *exchange*, broadcasts, the
+  fixpoint's global frontier count) happens at deterministic collective
+  points sequenced by the coordinator: workers post per-target buffers
+  and the coordinator redistributes the *manifests*.  Payloads above
+  :data:`_SHM_MIN_BYTES` travel as shared-memory staging segments
+  (peers attach and copy slices; the bytes never cross a pipe); smaller
+  ones are framed inline.  The framing is transport-shaped — a frame is
+  ``(kind, location, entries)`` — so a socket transport can replace the
+  staging segments for multi-host execution without touching the
+  execution code;
+* fixpoint iterations stay **coordinator-driven**: the loop condition is
+  a global-sum collective over the per-worker frontier counts, with the
+  canonical position-0 accumulator of the thread path;
+* the coordinator monitors worker **heartbeats** (a daemon thread in
+  each worker), process liveness and a per-query **deadline**.  A dead
+  or wedged worker aborts the in-flight query, is killed and respawned,
+  and the query is replayed once from shared memory before a
+  :class:`~repro.errors.ShardWorkerError` is raised — a worker killed
+  mid-query either re-runs to the correct result or fails cleanly,
+  never hangs.
+
+The pool is process-wide (keyed by worker count) and shut down at exit;
+:func:`get_pool` returns ``None`` when workers cannot be started, which
+callers treat as "fall back to the thread path".
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import threading
+import time
+import warnings
+from multiprocessing import connection, get_context, shared_memory
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import ReproError, ShardWorkerError
+from repro.core.engines.sharded import ShardedExecContext, ShardedKeys
+from repro.core.engines.vectorized import _EMPTY, _local_mask
+from repro.core.plan import IndexLookupOp, ScanOp
+from repro.triplestore.columnar import sorted_unique
+from repro.triplestore.shm import attach_segment, attach_worker_store
+
+__all__ = ["ProcessShardPool", "get_pool", "notify_store_closed", "shutdown_all"]
+
+#: Collective payloads below this many bytes are framed inline over the
+#: control pipe; larger ones go through shared-memory staging segments.
+_SHM_MIN_BYTES = 64 * 1024
+
+#: Heartbeat interval (seconds) for the worker daemon thread.
+_HEARTBEAT_ENV = "REPRO_SHARD_HEARTBEAT"
+_DEFAULT_HEARTBEAT = 0.5
+
+#: Per-query deadline (seconds) before the coordinator declares a hang.
+_TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
+_DEFAULT_TIMEOUT = 120.0
+
+#: How long a silent (no heartbeat) but alive worker is tolerated.
+_STALE_FACTOR = 30.0
+
+#: How long to wait for a fresh worker's ``ready`` message.
+_SPAWN_TIMEOUT = 30.0
+
+
+def _heartbeat_interval() -> float:
+    try:
+        return max(0.05, float(os.environ.get(_HEARTBEAT_ENV, _DEFAULT_HEARTBEAT)))
+    except ValueError:
+        return _DEFAULT_HEARTBEAT
+
+
+def _query_timeout() -> float:
+    try:
+        return max(1.0, float(os.environ.get(_TIMEOUT_ENV, _DEFAULT_TIMEOUT)))
+    except ValueError:
+        return _DEFAULT_TIMEOUT
+
+
+# --------------------------------------------------------------------- #
+# Frames: the exchange wire format
+# --------------------------------------------------------------------- #
+#
+# A frame carries one or more numpy arrays from one worker to its peers:
+#
+#   ("buf", None, entries)     entries: {key: (shape, dtype_str, bytes)}
+#   ("shm", segname, entries)  entries: {key: (shape, dtype_str, offset)}
+#
+# ``key`` is the target shard id for exchanges, or 0 for single-array
+# payloads (allgather, final results).  Only the entries dict differs
+# between transports, so the coordinator can filter per-target entries
+# without ever touching array bytes — and a socket transport would only
+# need a third tag here.
+
+
+def _pack_frame(arrays: dict[int, np.ndarray], staging: "_StagingSet"):
+    total = sum(a.nbytes for a in arrays.values())
+    if total < _SHM_MIN_BYTES:
+        entries = {
+            key: (a.shape, str(a.dtype), a.tobytes()) for key, a in arrays.items()
+        }
+        return ("buf", None, entries)
+    shm = staging.create(total)
+    entries = {}
+    offset = 0
+    for key, a in arrays.items():
+        entries[key] = (a.shape, str(a.dtype), offset)
+        if a.nbytes:
+            view = np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf, offset=offset)
+            view[:] = a
+        offset += a.nbytes
+    return ("shm", shm.name, entries)
+
+
+def _filter_frame(frame, wanted) -> tuple:
+    """The sub-frame carrying only the ``wanted`` keys (metadata-only)."""
+    kind, loc, entries = frame
+    return (kind, loc, {k: v for k, v in entries.items() if k in wanted})
+
+
+def _read_frame(frame) -> dict[int, np.ndarray]:
+    """Materialise a frame's arrays (copies; shm mappings are dropped)."""
+    kind, loc, entries = frame
+    out: dict[int, np.ndarray] = {}
+    if kind == "buf":
+        for key, (shape, dtype, data) in entries.items():
+            out[key] = np.frombuffer(data, dtype=dtype).reshape(shape)
+        return out
+    if not entries:
+        return out
+    shm = attach_segment(loc)
+    try:
+        for key, (shape, dtype, offset) in entries.items():
+            view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+            out[key] = view.copy()
+    finally:
+        shm.close()
+    return out
+
+
+class _StagingSet:
+    """A worker's staging segments with barrier-deferred unlinking.
+
+    A segment posted at collective ``seq`` may be read by peers until
+    they post collective ``seq+1`` (or their final ``done``), so the
+    creator unlinks it only after *receiving* the next collective
+    response / the final ``fin`` barrier — both imply every peer has
+    moved past the read.
+    """
+
+    def __init__(self) -> None:
+        self._fresh: list[shared_memory.SharedMemory] = []
+        self._aging: list[shared_memory.SharedMemory] = []
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        shm = shared_memory.SharedMemory(
+            name=f"repro-xchg-{os.getpid():x}-{time.monotonic_ns():x}",
+            create=True,
+            size=max(nbytes, 1),
+        )
+        self._fresh.append(shm)
+        return shm
+
+    def advance(self) -> None:
+        """A barrier passed: everything from the previous round is dead."""
+        for shm in self._aging:
+            _unlink_quiet(shm)
+        self._aging = self._fresh
+        self._fresh = []
+
+    def release_all(self) -> None:
+        for shm in self._aging + self._fresh:
+            _unlink_quiet(shm)
+        self._aging = []
+        self._fresh = []
+
+
+def _unlink_quiet(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+    except Exception:  # pragma: no cover
+        pass
+    try:
+        shm.unlink()
+    except Exception:
+        pass
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+
+
+class _Aborted(Exception):
+    """The coordinator abandoned the in-flight query."""
+
+
+class _WorkerState:
+    """Long-lived per-process worker state (store cache, control pipe)."""
+
+    def __init__(self, rank: int, nworkers: int, conn) -> None:
+        self.rank = rank
+        self.nworkers = nworkers
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.stores: dict[str, Any] = {}
+        self.staging = _StagingSet()
+        self.pending_detach: list[str] = []
+        self.fault: Optional[dict] = None
+
+    def send(self, msg) -> None:
+        with self.send_lock:
+            self.conn.send(msg)
+
+    def attach(self, segment: str):
+        store = self.stores.get(segment)
+        if store is None:
+            store = attach_worker_store(segment)
+            self.stores[segment] = store
+        return store
+
+    def detach(self, segment: str) -> None:
+        store = self.stores.pop(segment, None)
+        if store is not None:
+            store.close()
+
+    def collective(self, qid: int, seq: int, kind: str, payload):
+        """Post one collective and block for the coordinator's response."""
+        self.send(("coll", qid, seq, kind, payload))
+        while True:
+            msg = self.conn.recv()
+            tag = msg[0]
+            if tag == "collr":
+                if msg[1] == qid and msg[2] == seq:
+                    # Every peer reached this barrier: staging posted at
+                    # the previous one can no longer be read.
+                    self.staging.advance()
+                    return msg[3]
+                continue  # stale response from an aborted query
+            if tag == "abort":
+                if msg[1] == qid:
+                    raise _Aborted()
+                continue
+            if tag == "detach":
+                self.pending_detach.append(msg[1])
+                continue
+            if tag == "exit":  # pragma: no cover — shutdown mid-query
+                raise SystemExit(0)
+            # A new query mid-collective means the coordinator moved on
+            # without this rank noticing the abort; consuming (and thus
+            # losing) that query would stall it, so die and let the
+            # coordinator's liveness check respawn a clean worker.
+            os._exit(13)  # pragma: no cover — guarded by abort ordering
+
+
+class _WorkerExecContext(ShardedExecContext):
+    """The worker's execution context: same kernels, collective seams.
+
+    Owns the shards ``s`` with ``s % nworkers == rank``; every other
+    entry of every :class:`ShardedKeys` is an empty placeholder, so the
+    inherited per-shard operator code computes real work only for owned
+    shards and the collective overrides below stitch the ranks together.
+    """
+
+    __slots__ = ("rank", "nworkers", "state", "qid", "seq")
+
+    def __init__(self, state: _WorkerState, attached, qid: int, spec: dict) -> None:
+        self.state = state
+        self.rank = state.rank
+        self.nworkers = state.nworkers
+        self.qid = qid
+        self.seq = 0
+        self.store = None
+        self.ss = attached.ss
+        self.cs = attached.ss.cs
+        self.rho = attached.rho
+        self.max_universe_objects = spec["max_universe_objects"]
+        self.max_matrix_objects = spec["max_matrix_objects"]
+        self.k = attached.ss.k
+        self.pool = None
+        self.dispatch_min = 0
+        self._memo = {}
+
+    # -- ownership ------------------------------------------------------ #
+
+    def _owned(self, i: int) -> bool:
+        return i % self.nworkers == self.rank
+
+    def _mask(self, shards: list[np.ndarray]) -> list[np.ndarray]:
+        return [s if self._owned(i) else _EMPTY for i, s in enumerate(shards)]
+
+    # -- collectives ---------------------------------------------------- #
+
+    def _coll(self, kind: str, payload):
+        """One collective round-trip; array payloads are framed here.
+
+        Packing happens after the fault check so an injected death never
+        leaves a freshly created staging segment behind.
+        """
+        _maybe_die(self.state.fault, self.rank, "collective")
+        if kind != "sum":
+            payload = _pack_frame(payload, self.state.staging)
+        self.seq += 1
+        return self.state.collective(self.qid, self.seq, kind, payload)
+
+    def _gather_list(self, arrays: list[np.ndarray]) -> np.ndarray:
+        local = arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+        frames = self._coll("gather", {0: local})
+        parts = []
+        for rank, frame in enumerate(frames):
+            if rank == self.rank:
+                parts.append(local)
+            else:
+                got = _read_frame(frame)
+                if got:
+                    parts.append(got[0])
+        return np.concatenate(parts)
+
+    def _global_total(self, sk: ShardedKeys) -> int:
+        return self._coll("sum", sk.total)
+
+    def _replicated_raw(self, keys: np.ndarray) -> ShardedKeys:
+        # Every rank holds the same globally-known array (it came out of
+        # an allgather), so each keeps its own shards — a partition with
+        # no exchange.
+        return ShardedKeys(self._mask(self.ss.partition(keys, 0)), 0)
+
+    def _all_to_all(self, buckets: dict[int, list[np.ndarray]], template: np.ndarray):
+        """One exchange pass: per-target buckets in, per-target rows out.
+
+        ``buckets[t]`` holds this rank's blocks destined for shard ``t``;
+        the return maps each *owned* ``t`` to the concatenated blocks
+        from every rank.  ``template`` fixes the dtype/shape of empties.
+        """
+        outgoing = {
+            t: (blocks[0] if len(blocks) == 1 else np.concatenate(blocks))
+            for t, blocks in buckets.items()
+        }
+        frames = self._coll("xchg", outgoing)
+        empty = template[:0]
+        received: dict[int, list[np.ndarray]] = {
+            t: [outgoing.get(t, empty)] for t in range(self.k) if self._owned(t)
+        }
+        for rank, frame in enumerate(frames):
+            if rank == self.rank or frame is None:
+                continue
+            for t, arr in _read_frame(frame).items():
+                received[t].append(arr)
+        return received
+
+    def _from_raw(self, pieces: list[np.ndarray], pos: int) -> ShardedKeys:
+        if self.k == 1:  # pragma: no cover — process path needs k > 1
+            return super()._from_raw(pieces, pos)
+        buckets: dict[int, list[np.ndarray]] = {t: [] for t in range(self.k)}
+        for i, piece in enumerate(pieces):
+            if not self._owned(i) or not len(piece):
+                continue
+            for t, b in enumerate(self.ss.partition(piece, pos)):
+                if len(b):
+                    buckets[t].append(b)
+        received = self._all_to_all(
+            {t: blocks for t, blocks in buckets.items() if blocks}, _EMPTY
+        )
+        shards = []
+        for t in range(self.k):
+            if self._owned(t):
+                chunks = [c for c in received[t] if len(c)]
+                shards.append(
+                    sorted_unique(np.concatenate(chunks)) if chunks else _EMPTY
+                )
+            else:
+                shards.append(_EMPTY)
+        return ShardedKeys(shards, pos)
+
+    def _exchange_cols(
+        self, cols_list: list[np.ndarray], pos: int, on_data: bool
+    ) -> list[np.ndarray]:
+        k = self.k
+        if k == 1:  # pragma: no cover — process path needs k > 1
+            return cols_list
+        cs = self.cs
+        empty_cols = cols_list[0][:0] if cols_list else _EMPTY.reshape(0, 3)
+        buckets: dict[int, list[np.ndarray]] = {t: [] for t in range(k)}
+        for i, cols in enumerate(cols_list):
+            if not self._owned(i) or not len(cols):
+                continue
+            comp = cols[:, pos]
+            if on_data:
+                comp = cs.dv_codes[comp]
+            ids = comp % k
+            for t in range(k):
+                b = cols[ids == t]
+                if len(b):
+                    buckets[t].append(b)
+        received = self._all_to_all(
+            {t: blocks for t, blocks in buckets.items() if blocks}, empty_cols
+        )
+        out = []
+        for t in range(k):
+            if self._owned(t):
+                chunks = [c for c in received[t] if len(c)]
+                out.append(
+                    chunks[0]
+                    if len(chunks) == 1
+                    else np.concatenate(chunks)
+                    if chunks
+                    else empty_cols
+                )
+            else:
+                out.append(empty_cols)
+        return out
+
+    # -- owned-only base relations -------------------------------------- #
+
+    def _dispatch(self, op) -> ShardedKeys:
+        if isinstance(op, ScanOp):
+            return ShardedKeys(
+                self._mask(self.ss.relation_shards(op.name)), self.ss.key_pos
+            )
+        return super()._dispatch(op)
+
+    def _index_lookup(self, op: IndexLookupOp) -> ShardedKeys:
+        cs = self.cs
+        shards = self.ss.relation_shards(op.name)
+        out = []
+        for i, shard in enumerate(shards):
+            if not self._owned(i) or not len(shard):
+                out.append(_EMPTY)
+                continue
+            cols = cs.unpack(shard)
+            mask = np.ones(len(cols), dtype=bool)
+            for pos, value in zip(op.positions, op.bound_key()):
+                mask &= cols[:, pos] == cs.code_of(value)
+            if op.residual:
+                mask &= _local_mask(cs, op.residual, cols)
+            out.append(shard[mask])
+        return ShardedKeys(out, self.ss.key_pos)
+
+    def _universe_shards(self, active: np.ndarray) -> list[np.ndarray]:
+        n = self.cs.radix
+        out = []
+        for t in range(self.k):
+            if not self._owned(t):
+                out.append(_EMPTY)
+                continue
+            subs = active[active % self.k == t]
+            if not len(subs):
+                out.append(_EMPTY)
+                continue
+            pairs = (subs[:, None] * n + active[None, :]).reshape(-1)
+            keys = (pairs[:, None] * n + active[None, :]).reshape(-1)
+            out.append(keys)
+        return out
+
+
+def _maybe_die(fault: Optional[dict], rank: int, when: str) -> None:
+    """Fault-injection hook for the restart/retry tests.
+
+    ``fault = {"rank": r, "when": "start"|"collective", "marker": path}``
+    kills worker ``r`` at the given point — once if a marker path is
+    given (the first death leaves the marker so the replay survives),
+    every time otherwise.
+    """
+    if not fault or fault.get("rank") != rank or fault.get("when", "start") != when:
+        return
+    marker = fault.get("marker")
+    if marker is not None:
+        if os.path.exists(marker):
+            return
+        with open(marker, "w", encoding="utf-8"):
+            pass
+    os._exit(17)
+
+
+def _worker_main(rank: int, nworkers: int, conn, hb_interval: float) -> None:
+    """Entry point of one worker process (spawn start method)."""
+    state = _WorkerState(rank, nworkers, conn)
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(hb_interval):
+            try:
+                state.send(("hb",))
+            except (BrokenPipeError, OSError):  # parent died
+                os._exit(0)
+
+    threading.Thread(target=beat, name="repro-heartbeat", daemon=True).start()
+    state.send(("ready",))
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            tag = msg[0]
+            if tag == "exit":
+                break
+            if tag == "detach":
+                state.detach(msg[1])
+                continue
+            if tag == "abort":
+                continue  # stale: the query already ended here
+            if tag != "query":
+                continue  # stale collective response etc.
+            qid, spec = msg[1], msg[2]
+            for name in state.pending_detach:
+                state.detach(name)
+            state.pending_detach = []
+            try:
+                state.fault = spec.get("fault")
+                _maybe_die(state.fault, rank, "start")
+                attached = state.attach(spec["segment"])
+                ctx = _WorkerExecContext(state, attached, qid, spec)
+                sk = ctx.run(spec["plan"])
+                keys = np.ascontiguousarray(sk.gather(), dtype=np.int64)
+                state.send(("done", qid, ("buf", None, {0: (keys.shape, "int64", keys.tobytes())})))
+                # Wait for the fin barrier: peers may still be reading
+                # this rank's staging from the final collective.
+                while True:
+                    fin = conn.recv()
+                    if fin[0] in ("fin", "abort") and fin[1] == qid:
+                        break
+                    if fin[0] == "detach":
+                        state.pending_detach.append(fin[1])
+                    elif fin[0] == "exit":
+                        return
+            except _Aborted:
+                pass
+            except SystemExit:
+                raise
+            except BaseException as exc:  # noqa: BLE001 — shipped to parent
+                try:
+                    blob = pickle.dumps(exc)
+                except Exception:
+                    blob = pickle.dumps(ShardWorkerError(f"worker {rank}: {exc!r}"))
+                try:
+                    state.send(("error", qid, blob))
+                except (BrokenPipeError, OSError):
+                    break
+            finally:
+                state.fault = None
+                state.staging.release_all()
+    finally:
+        state.staging.release_all()
+        for store in state.stores.values():
+            store.close()
+
+
+# --------------------------------------------------------------------- #
+# Coordinator side
+# --------------------------------------------------------------------- #
+
+
+class _WorkerFailure(Exception):
+    """A worker died, wedged or broke protocol; carries the dead ranks."""
+
+    def __init__(self, message: str, ranks: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.ranks = ranks
+
+
+class _Worker:
+    """Coordinator-side record of one worker process."""
+
+    __slots__ = ("rank", "process", "conn", "last_hb")
+
+    def __init__(self, rank: int, process, conn) -> None:
+        self.rank = rank
+        self.process = process
+        self.conn = conn
+        self.last_hb = time.monotonic()
+
+
+class ProcessShardPool:
+    """A fixed-size pool of shard worker processes plus the coordinator.
+
+    One query runs at a time (queries are themselves shard-parallel);
+    the pool is long-lived and shared across engines and stores — the
+    per-query state is only the plan and the store's segment name.
+    """
+
+    def __init__(self, nworkers: int) -> None:
+        self.nworkers = nworkers
+        self._ctx = get_context("spawn")
+        self._workers: list[Optional[_Worker]] = [None] * nworkers
+        # Reentrant on purpose: a garbage-collected store handle can
+        # fire notify_store_closed -> broadcast_detach on the *same*
+        # thread that is inside run_query (GC runs at any allocation),
+        # and a plain lock would self-deadlock.  Workers defer detach
+        # commands that arrive mid-query, so the reentrant interleaving
+        # is protocol-safe.
+        self._lock = threading.RLock()
+        self._qid = 0
+        self._hb = _heartbeat_interval()
+        self._closed = False
+        for rank in range(nworkers):
+            self._spawn(rank)
+        self._await_ready(range(nworkers))
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def _spawn(self, rank: int) -> None:
+        parent, child = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(rank, self.nworkers, child, self._hb),
+            name=f"repro-shard-{rank}",
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        self._workers[rank] = _Worker(rank, process, parent)
+
+    def _await_ready(self, ranks) -> None:
+        deadline = time.monotonic() + _SPAWN_TIMEOUT
+        for rank in ranks:
+            worker = self._workers[rank]
+            assert worker is not None
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not worker.conn.poll(min(remaining, 0.2)):
+                    if remaining <= 0:
+                        raise ShardWorkerError(
+                            f"shard worker {rank} failed to start within "
+                            f"{_SPAWN_TIMEOUT:.0f}s"
+                        )
+                    continue
+                msg = worker.conn.recv()
+                if msg[0] == "ready":
+                    worker.last_hb = time.monotonic()
+                    break
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            for worker in self._workers:
+                if worker is None:
+                    continue
+                try:
+                    worker.conn.send(("exit",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for worker in self._workers:
+                if worker is None:
+                    continue
+                worker.process.join(timeout=2.0)
+                if worker.process.is_alive():  # pragma: no cover — wedged
+                    worker.process.terminate()
+                    worker.process.join(timeout=2.0)
+                worker.conn.close()
+            self._workers = [None] * self.nworkers
+
+    def broadcast_detach(self, segment: str) -> None:
+        """Ask every worker to drop its mapping of ``segment``."""
+        with self._lock:
+            if self._closed:
+                return
+            for worker in self._workers:
+                if worker is None:
+                    continue
+                try:
+                    worker.conn.send(("detach", segment))
+                except (BrokenPipeError, OSError):
+                    pass
+
+    # -- queries -------------------------------------------------------- #
+
+    def run_query(
+        self,
+        segment: str,
+        plan,
+        *,
+        max_universe_objects: int = 400,
+        max_matrix_objects: int = 512,
+        fault: Optional[dict] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+    ) -> np.ndarray:
+        """Run one compiled plan; returns the merged sorted unique keys.
+
+        A worker failure (death, heartbeat silence, protocol breach)
+        aborts the attempt, restarts the failed workers and replays the
+        query — ``retries`` times — before raising
+        :class:`ShardWorkerError`.  A deadline overrun raises
+        immediately: replaying a hang would hang again.
+        """
+        spec = {
+            "segment": segment,
+            "plan": plan,
+            "max_universe_objects": max_universe_objects,
+            "max_matrix_objects": max_matrix_objects,
+            "fault": fault,
+        }
+        deadline = time.monotonic() + (timeout if timeout is not None else _query_timeout())
+        with self._lock:
+            if self._closed:
+                raise ShardWorkerError("worker pool is closed")
+            attempts = 0
+            while True:
+                try:
+                    return self._attempt(spec, deadline)
+                except _WorkerFailure as failure:
+                    attempts += 1
+                    # Every failure path aborts before raising, but the
+                    # broadcast is repeated here so a send failure part
+                    # way through a query start cannot leave live
+                    # workers running it (duplicate aborts are ignored).
+                    self._abort(self._qid)
+                    self._recover(failure)
+                    if attempts > retries:
+                        raise ShardWorkerError(
+                            f"shard query failed after {attempts} attempt(s): "
+                            f"{failure}"
+                        ) from failure
+
+    def _attempt(self, spec: dict, deadline: float) -> np.ndarray:
+        self._qid += 1
+        qid = self._qid
+        workers = self._workers
+        for worker in workers:
+            assert worker is not None
+            worker.last_hb = time.monotonic()
+            try:
+                worker.conn.send(("query", qid, spec))
+            except (BrokenPipeError, OSError):
+                raise _WorkerFailure(
+                    f"worker {worker.rank} is gone", (worker.rank,)
+                ) from None
+
+        stale_after = max(self._hb * _STALE_FACTOR, 5.0)
+        pending_coll: dict[tuple[int, str], dict[int, Any]] = {}
+        done: dict[int, Any] = {}
+        conns = {w.conn: w for w in workers if w is not None}
+
+        while len(done) < self.nworkers:
+            now = time.monotonic()
+            if now > deadline:
+                self._abort(qid)
+                raise ShardWorkerError(
+                    "shard query missed its deadline "
+                    f"({_TIMEOUT_ENV} / the timeout argument); workers were aborted"
+                )
+            dead = [
+                w.rank
+                for w in workers
+                if w is not None
+                and (
+                    not w.process.is_alive()
+                    or now - w.last_hb > stale_after
+                )
+            ]
+            if dead:
+                self._abort(qid)
+                raise _WorkerFailure(
+                    f"worker(s) {dead} died or stopped heartbeating mid-query",
+                    tuple(dead),
+                )
+            for conn_ready in connection.wait(list(conns), timeout=0.05):
+                worker = conns[conn_ready]
+                try:
+                    msg = conn_ready.recv()
+                except (EOFError, OSError):
+                    self._abort(qid)
+                    raise _WorkerFailure(
+                        f"worker {worker.rank} closed its pipe mid-query",
+                        (worker.rank,),
+                    ) from None
+                worker.last_hb = time.monotonic()
+                tag = msg[0]
+                if tag == "hb" or tag == "ready":
+                    continue
+                if msg[1] != qid:
+                    continue  # stale message from an aborted attempt
+                if tag == "error":
+                    try:
+                        exc = pickle.loads(msg[2])
+                    except Exception:
+                        exc = ShardWorkerError(
+                            f"worker {worker.rank} failed (unpicklable error)"
+                        )
+                    self._abort(qid)
+                    raise exc
+                if tag == "done":
+                    done[worker.rank] = msg[2]
+                    continue
+                if tag == "coll":
+                    _, _, seq, kind, payload = msg
+                    bucket = pending_coll.setdefault((seq, kind), {})
+                    bucket[worker.rank] = payload
+                    if len(bucket) == self.nworkers:
+                        self._respond(qid, seq, kind, bucket)
+                        pending_coll.pop((seq, kind))
+                    continue
+                self._abort(qid)
+                raise _WorkerFailure(
+                    f"worker {worker.rank} broke protocol with {tag!r}",
+                    (worker.rank,),
+                )
+
+        for worker in workers:
+            assert worker is not None
+            try:
+                worker.conn.send(("fin", qid))
+            except (BrokenPipeError, OSError):
+                raise _WorkerFailure(
+                    f"worker {worker.rank} died at the fin barrier",
+                    (worker.rank,),
+                ) from None
+        pieces = []
+        for rank in range(self.nworkers):
+            got = _read_frame(done[rank])
+            if got and len(got[0]):
+                pieces.append(got[0])
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return sorted_unique(np.concatenate(pieces))
+
+    def _respond(self, qid: int, seq: int, kind: str, payloads: dict[int, Any]) -> None:
+        """All ranks reached collective ``seq``: compute and fan out."""
+        workers = self._workers
+        if kind == "sum":
+            total = int(sum(payloads.values()))
+            for worker in workers:
+                assert worker is not None
+                worker.conn.send(("collr", qid, seq, total))
+            return
+        if kind == "gather":
+            frames = [payloads[rank] for rank in range(self.nworkers)]
+            for worker in workers:
+                assert worker is not None
+                worker.conn.send(("collr", qid, seq, frames))
+            return
+        if kind == "xchg":
+            for worker in workers:
+                assert worker is not None
+                w = worker.rank
+                owned = {
+                    t
+                    for frame in payloads.values()
+                    for t in frame[2]
+                    if t % self.nworkers == w
+                }
+                response = [
+                    None
+                    if rank == w
+                    else _filter_frame(payloads[rank], owned)
+                    for rank in range(self.nworkers)
+                ]
+                worker.conn.send(("collr", qid, seq, response))
+            return
+        raise _WorkerFailure(f"unknown collective kind {kind!r}")  # pragma: no cover
+
+    def _abort(self, qid: int) -> None:
+        for worker in self._workers:
+            if worker is None:
+                continue
+            try:
+                worker.conn.send(("abort", qid))
+            except (BrokenPipeError, OSError):
+                pass
+
+    def _recover(self, failure: _WorkerFailure) -> None:
+        """Kill and respawn the failed ranks (plus anything else dead)."""
+        ranks = set(failure.ranks)
+        for worker in self._workers:
+            if worker is not None and not worker.process.is_alive():
+                ranks.add(worker.rank)
+        for rank in ranks:
+            worker = self._workers[rank]
+            if worker is None:
+                continue
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+                if worker.process.is_alive():  # pragma: no cover — wedged
+                    worker.process.kill()
+                    worker.process.join(timeout=2.0)
+            worker.conn.close()
+            self._spawn(rank)
+        if ranks:
+            self._await_ready(sorted(ranks))
+
+
+# --------------------------------------------------------------------- #
+# Process-wide pool registry
+# --------------------------------------------------------------------- #
+
+_POOLS_LOCK = threading.Lock()
+_POOLS: dict[int, ProcessShardPool] = {}
+_SPAWN_BROKEN = False
+
+
+def get_pool(nworkers: int) -> Optional[ProcessShardPool]:
+    """The shared pool with ``nworkers`` workers (``None`` if unavailable).
+
+    Pools are created lazily, cached per worker count, and shut down at
+    interpreter exit.  When workers cannot be spawned at all (platform
+    without working ``spawn``/shared memory), the failure is remembered
+    and every caller falls back to the thread executor.
+    """
+    global _SPAWN_BROKEN
+    if nworkers < 1 or _SPAWN_BROKEN:
+        return None
+    with _POOLS_LOCK:
+        pool = _POOLS.get(nworkers)
+        if pool is not None:
+            return pool
+        try:
+            pool = ProcessShardPool(nworkers)
+        except Exception as exc:
+            _SPAWN_BROKEN = True
+            warnings.warn(
+                f"process shard executor unavailable ({exc!r}); "
+                "falling back to the thread executor",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        _POOLS[nworkers] = pool
+        return pool
+
+
+def notify_store_closed(segment: str) -> None:
+    """A store segment is being unlinked: drop worker mappings first."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+    for pool in pools:
+        pool.broadcast_detach(segment)
+
+
+def shutdown_all() -> None:
+    """Close every pool (idempotent; also runs at interpreter exit)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        try:
+            pool.close()
+        except Exception:  # pragma: no cover
+            pass
+
+
+atexit.register(shutdown_all)

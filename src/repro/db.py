@@ -214,6 +214,17 @@ class Database:
         :class:`~repro.core.engines.sharded.ShardedEngine` (``None``
         defers to ``REPRO_SHARDS``, then the engine default).  Invalid
         with any other backend.
+    executor:
+        With ``backend="sharded"``: the shard executor — ``"thread"``
+        (in-process) or ``"process"`` (plans dispatched to a worker
+        pool over shared memory; see
+        :mod:`repro.core.engines.procpool`).  ``None`` defers to
+        ``REPRO_SHARD_EXECUTOR``, then ``"thread"``.  Invalid with any
+        other backend.
+    workers:
+        With ``executor="process"``: the worker-process count (``None``
+        defers to ``REPRO_SHARD_WORKERS``, then one worker per shard
+        bounded by the host's cores).
     optimize:
         Apply the logical rewrites of :mod:`repro.core.optimizer` before
         planning (default True).
@@ -229,13 +240,15 @@ class Database:
         *,
         backend: str | None = None,
         shards: int | None = None,
+        executor: str | None = None,
+        workers: int | None = None,
         optimize: bool = True,
         cache_size: int = 128,
     ) -> None:
         if backend is None:
             if engine is not None:
                 backend = getattr(engine, "backend", "set")
-            elif shards is not None:
+            elif shards is not None or executor is not None:
                 backend = "sharded"
             else:
                 backend = os.environ.get(_BACKEND_ENV, "set")
@@ -247,17 +260,34 @@ class Database:
             raise ReproError(
                 f"shards={shards} only applies to the sharded backend, not {backend!r}"
             )
+        if executor is not None and backend != "sharded":
+            raise ReproError(
+                f"executor={executor!r} only applies to the sharded backend, "
+                f"not {backend!r}"
+            )
+        if workers is not None and backend != "sharded":
+            raise ReproError(
+                f"workers={workers} only applies to the sharded backend, "
+                f"not {backend!r}"
+            )
         if engine is None:
             if backend == "columnar":
                 engine = VectorEngine()
             elif backend == "sharded":
-                engine = ShardedEngine(shards=shards)
+                engine = ShardedEngine(
+                    shards=shards, executor=executor, workers=workers
+                )
             else:
                 engine = FastEngine()
         elif shards is not None and getattr(engine, "shards", shards) != shards:
             raise ReproError(
                 f"engine runs {engine.shards} shards, not {shards}; "
                 "drop one of the two arguments"
+            )
+        elif executor is not None and getattr(engine, "executor", executor) != executor:
+            raise ReproError(
+                f"engine runs the {engine.executor!r} shard executor, not "
+                f"{executor!r}; drop one of the two arguments"
             )
         elif getattr(engine, "backend", "set") != backend:
             # An explicit engine/backend pair must agree — otherwise the
@@ -526,6 +556,39 @@ class Database:
         return _build_explain_report(
             expr, self.store, engine=self.engine, backend=self.backend
         )
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release session resources (idempotent).
+
+        Unlinks any shared-memory segments the process shard executor
+        published for this session's store — worker pools are told to
+        drop their mappings first.  The session object stays usable for
+        queries afterwards (segments are republished on demand); close
+        exists so repeated build-query-drop cycles never accumulate
+        ``/dev/shm`` entries until interpreter exit.
+        """
+        for ss in getattr(self.store, "_sharded", {}).values():
+            handle = getattr(ss, "_shm", None)
+            if handle is not None:
+                handle.close()
+                ss._shm = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __del__(self) -> None:  # pragma: no cover — GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     # Mutations / cache lifecycle

@@ -25,6 +25,12 @@ class UnknownRelationError(TriplestoreError):
         hint = f" (available: {', '.join(available)})" if available else ""
         super().__init__(f"unknown relation {name!r}{hint}")
 
+    def __reduce__(self):
+        # Errors cross process boundaries (shard workers report failures
+        # over pipes); rebuild from the constructor arguments so the
+        # message is not re-wrapped around the formatted text.
+        return (UnknownRelationError, (self.name, self.available))
+
 
 class MatrixTooLargeError(TriplestoreError):
     """A dense matrix representation was refused by its object-count guard.
@@ -39,10 +45,14 @@ class MatrixTooLargeError(TriplestoreError):
     def __init__(self, n_objects: int, limit: int, what: str = "matrix"):
         self.n_objects = n_objects
         self.limit = limit
+        self.what = what
         super().__init__(
             f"refusing to build a dense {what} representation over "
             f"{n_objects} objects (limit {limit}); raise the limit to override"
         )
+
+    def __reduce__(self):
+        return (MatrixTooLargeError, (self.n_objects, self.limit, self.what))
 
 
 class AlgebraError(ReproError):
@@ -71,6 +81,9 @@ class UnboundParameterError(AlgebraError):
         hint = f" (expression parameters: {', '.join(known)})" if known else ""
         super().__init__(f"parameter ${name} is not bound{hint}")
 
+    def __reduce__(self):
+        return (UnboundParameterError, (self.name, self.known))
+
 
 class ParseError(ReproError):
     """Syntax errors in any of the small text languages we parse."""
@@ -82,6 +95,10 @@ class ParseError(ReproError):
             snippet = text[max(0, pos - 20):pos + 20]
             message = f"{message} at position {pos} (near {snippet!r})"
         super().__init__(message)
+
+    def __reduce__(self):
+        # args[0] is the already-formatted message; pos=None keeps it as-is.
+        return (ParseError, (self.args[0], self.text, None))
 
 
 class DatalogError(ReproError):
@@ -110,4 +127,15 @@ class EvaluationBudgetError(ReproError):
     The universal relation U is cubic in the number of objects; engines
     raise this instead of silently materialising enormous intermediates
     when the caller sets a budget.
+    """
+
+
+class ShardWorkerError(ReproError):
+    """The process-parallel shard executor lost its workers.
+
+    Raised by the coordinator when a worker process dies (or stops
+    heartbeating / misses the query deadline) and the automatic
+    restart-and-retry of the query also fails.  A single worker failure
+    is *not* surfaced as this error: the coordinator restarts the dead
+    worker and replays the query once before giving up.
     """

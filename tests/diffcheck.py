@@ -87,9 +87,12 @@ def default_engines() -> dict[str, object]:
     """The engine matrix under test: oracle + set/columnar/sharded, planner on/off.
 
     The sharded engine runs with three shards (uneven splits over the
-    six-object pool exercise empty and skewed shards) and once with the
-    partition key on the object position, so repartition joins and
-    co-partitioned joins both appear.
+    six-object pool exercise empty and skewed shards), once with the
+    partition key on the object position (so repartition joins and
+    co-partitioned joins both appear), and once on the process executor
+    with two workers and ``dispatch_min=0`` — the stores here are tiny,
+    so the threshold must be forced down for queries to actually cross
+    the worker pool and its exchange collectives.
     """
     return {
         "naive": NaiveEngine(),
@@ -100,6 +103,9 @@ def default_engines() -> dict[str, object]:
         "vector": VectorEngine(),
         "sharded": ShardedEngine(shards=3),
         "sharded-obj": ShardedEngine(shards=2, key_pos=2),
+        "sharded-proc": ShardedEngine(
+            shards=3, executor="process", workers=2, dispatch_min=0
+        ),
     }
 
 
@@ -381,7 +387,9 @@ def repro_snippet(
         "expected = NaiveEngine().evaluate(expr, store)",
         "for engine in (HashJoinEngine(), HashJoinEngine(use_planner=False),",
         "               FastEngine(), FastEngine(use_planner=False), VectorEngine(),",
-        "               ShardedEngine(shards=3), ShardedEngine(shards=2, key_pos=2)):",
+        "               ShardedEngine(shards=3), ShardedEngine(shards=2, key_pos=2),",
+        "               ShardedEngine(shards=3, executor='process', workers=2,",
+        "                             dispatch_min=0)):",
         "    assert engine.evaluate(expr, store) == expected, type(engine).__name__",
     ]
     if outcomes is not None:

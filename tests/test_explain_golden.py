@@ -56,7 +56,8 @@ BACKENDS = {
     "set": lambda: FastEngine(),
     "columnar": lambda: VectorEngine(),
     # Shard count pinned: the goldens must not depend on REPRO_SHARDS.
-    "sharded": lambda: ShardedEngine(shards=4),
+    # executor pinned: goldens must not change under REPRO_SHARD_EXECUTOR.
+    "sharded": lambda: ShardedEngine(shards=4, executor="thread"),
 }
 
 

@@ -1,0 +1,229 @@
+"""Cross-process shard execution: worker pool, shm stores, failures.
+
+The process executor runs the same compiled plans as the thread path,
+so correctness is tested as agreement: every query family is evaluated
+through a real worker pool (dispatch threshold forced to zero) and
+compared against the thread executor.  The rest of the file covers
+what only the process path can get wrong — worker death mid-query,
+shared-memory segment lifecycle, and the fall-back seams.
+
+Worker pools are process-wide singletons (see ``procpool.get_pool``),
+so the spawn cost is paid once per test run, not per test.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import pytest
+
+from repro.core.engines import procpool
+from repro.core.engines.sharded import ShardedEngine
+from repro.core.explain import explain_physical
+from repro.core.parser import parse
+from repro.db import Database
+from repro.errors import ReproError, ShardWorkerError
+from repro.triplestore.shm import live_segment_names, publish_sharded_store
+from repro.workloads.generators import random_store
+
+#: One store for the agreement tests: two relations, η collisions.
+STORE = random_store(60, 4000, n_relations=2, data_values=range(6), seed=3)
+
+#: Plan shapes worth running through real workers: co-partitioned and
+#: repartitioned joins, an η join (ρ-code exchange), set operations,
+#: selections, and both star fixpoints (coordinator-driven rounds).
+QUERIES = [
+    "E0",
+    "select[2='o3'](E0) | select[rho(1)=rho(3)](E0)",
+    "join[1,2,3'; 1=1'](E0, E1)",
+    "join[1,3',3; 2=1'](E0, E1)",
+    "join[1,2,3'; 3=1' & rho(2)=rho(2')](E0, E1)",
+    "(E0 | E1) - select[1=3](E0)",
+    "(E0 & E0) | (E1 & E1)",
+    "star[1,2,3'; 3=1'](E0)",
+    "star[1,2,2'; 3=1' & 1!=3'](E0)",
+]
+
+
+def _engines():
+    thread = ShardedEngine(shards=4, executor="thread")
+    process = ShardedEngine(shards=4, executor="process", workers=2, dispatch_min=0)
+    return thread, process
+
+
+def _pool_or_skip():
+    pool = procpool.get_pool(2)
+    if pool is None:  # pragma: no cover — spawn-hostile sandboxes
+        pytest.skip("cannot spawn worker processes here")
+    return pool
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_process_executor_agrees_with_thread(query):
+    thread, process = _engines()
+    expr = parse(query)
+    _pool_or_skip()
+    assert process.evaluate(expr, STORE) == thread.evaluate(expr, STORE)
+
+
+def test_process_executor_raises_app_errors():
+    """Deterministic application errors surface as themselves, not as
+    worker failures — no restart, no retry."""
+    _, process = _engines()
+    from repro.errors import UnknownRelationError
+
+    with pytest.raises(UnknownRelationError):
+        process.evaluate(parse("NOPE"), STORE)
+
+
+def test_worker_killed_once_is_restarted_and_retried():
+    """A worker dying mid-query (at dispatch or inside a collective) is
+    restarted and the query replayed to the correct result."""
+    thread, _ = _engines()
+    pool = _pool_or_skip()
+    expr = parse("join[1,3',3; 2=1'](E0, E1)")
+    expected = thread.evaluate(expr, STORE)
+    plan = thread.compile(expr, STORE)
+    ss = STORE.sharded(4, 0)
+    handle = publish_sharded_store(ss)
+    for when in ("start", "collective"):
+        marker = tempfile.mktemp(prefix="repro-die-once-")
+        keys = pool.run_query(
+            handle.name,
+            plan,
+            fault={"rank": 1, "when": when, "marker": marker},
+        )
+        assert ss.cs.decode_triples(keys) == expected, when
+        os.unlink(marker)
+
+
+def test_worker_killed_always_raises_cleanly():
+    """Persistent worker death exhausts the retry and raises
+    ShardWorkerError — never a hang — and leaves the pool usable."""
+    thread, _ = _engines()
+    pool = _pool_or_skip()
+    expr = parse("join[1,2,3'; 1=1'](E0, E1)")
+    plan = thread.compile(expr, STORE)
+    ss = STORE.sharded(4, 0)
+    handle = publish_sharded_store(ss)
+    with pytest.raises(ShardWorkerError, match="after 2 attempt"):
+        pool.run_query(handle.name, plan, fault={"rank": 0, "when": "start"})
+    keys = pool.run_query(handle.name, plan)
+    assert ss.cs.decode_triples(keys) == thread.evaluate(expr, STORE)
+
+
+def test_query_deadline_raises_without_retry():
+    """A deadline overrun aborts and raises immediately: replaying a
+    hang would hang again."""
+    thread, _ = _engines()
+    pool = _pool_or_skip()
+    expr = parse("star[1,2,3'; 3=1'](E0)")
+    plan = thread.compile(expr, STORE)
+    ss = STORE.sharded(4, 0)
+    handle = publish_sharded_store(ss)
+    with pytest.raises(ShardWorkerError, match="deadline"):
+        pool.run_query(handle.name, plan, timeout=0.0)
+    keys = pool.run_query(handle.name, plan)
+    assert ss.cs.decode_triples(keys) == thread.evaluate(expr, STORE)
+
+
+def _repro_dev_shm_entries():
+    try:
+        names = os.listdir("/dev/shm")
+    except OSError:  # pragma: no cover — platforms without /dev/shm
+        return set()
+    return {n for n in names if n.startswith("repro-")}
+
+
+def test_shm_segments_released_in_build_destroy_loop():
+    """Building and closing stores in a loop must not leak segments —
+    neither in the in-process registry nor on /dev/shm itself."""
+    before = _repro_dev_shm_entries()
+    live_before = set(live_segment_names())
+    for i in range(5):
+        db = Database(
+            random_store(30, 200, seed=i),
+            backend="sharded",
+            shards=4,
+            executor="process",
+        )
+        ss = db.store.sharded(4, 0)
+        publish_sharded_store(ss)
+        assert ss._shm is not None
+        db.close()
+        assert ss._shm is None
+    assert set(live_segment_names()) <= live_before
+    assert _repro_dev_shm_entries() <= before
+
+
+def test_database_close_is_idempotent_and_context_managed():
+    live_before = set(live_segment_names())
+    with Database(
+        random_store(10, 40, seed=9), backend="sharded", shards=2, executor="process"
+    ) as db:
+        handle = publish_sharded_store(db.store.sharded(2, 0))
+        assert handle.name in live_segment_names()
+    db.close()  # second close is a no-op
+    assert set(live_segment_names()) <= live_before
+
+
+def test_small_store_falls_back_to_thread_path():
+    """Below the dispatch threshold the process executor must not pay
+    worker round-trips — nothing gets published to shared memory."""
+    engine = ShardedEngine(shards=4, executor="process", workers=2)
+    small = random_store(20, 100, seed=5)
+    assert len(small) < engine.dispatch_min
+    thread = ShardedEngine(shards=4, executor="thread")
+    expr = parse("join[1,2,3'; 3=1'](E, E)")
+    assert engine.evaluate(expr, small) == thread.evaluate(expr, small)
+    assert small.sharded(4, 0)._shm is None
+
+
+def test_database_executor_kwargs_validation():
+    tiny = random_store(5, 10, seed=1)
+    db = Database(tiny, executor="process")
+    assert db.engine.backend == "sharded"
+    assert db.engine.executor == "process"
+    with pytest.raises(ReproError, match="only applies to the sharded backend"):
+        Database(tiny, backend="columnar", executor="process")
+    with pytest.raises(ReproError, match="only applies to the sharded backend"):
+        Database(tiny, backend="set", workers=2)
+    with pytest.raises(ReproError, match="drop one of the two"):
+        Database(
+            tiny,
+            ShardedEngine(shards=2, executor="thread"),
+            executor="process",
+        )
+
+
+def test_executor_env_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_EXECUTOR", "process")
+    monkeypatch.setenv("REPRO_SHARD_WORKERS", "3")
+    monkeypatch.setenv("REPRO_SHARD_DISPATCH_MIN", "7")
+    engine = ShardedEngine(shards=4)
+    assert engine.executor == "process"
+    assert engine.worker_count() == 3
+    assert engine.dispatch_min == 7
+
+    monkeypatch.setenv("REPRO_SHARD_EXECUTOR", "telepathy")
+    with pytest.raises(ReproError, match="REPRO_SHARD_EXECUTOR"):
+        ShardedEngine(shards=4)
+    monkeypatch.delenv("REPRO_SHARD_EXECUTOR")
+    monkeypatch.setenv("REPRO_SHARD_WORKERS", "zero")
+    with pytest.raises(ReproError, match="REPRO_SHARD_WORKERS"):
+        ShardedEngine(shards=4).worker_count()
+    monkeypatch.setenv("REPRO_SHARD_WORKERS", "3")
+    monkeypatch.setenv("REPRO_SHARD_DISPATCH_MIN", "many")
+    with pytest.raises(ReproError, match="REPRO_SHARD_DISPATCH_MIN"):
+        ShardedEngine(shards=4)
+
+
+def test_explain_physical_names_the_executor():
+    expr = parse("join[1,2,3'; 3=1'](E0, E1)")
+    thread, process = _engines()
+    rendered = explain_physical(expr, STORE, engine=thread)
+    assert "executor   : thread" in rendered
+    rendered = explain_physical(expr, STORE, engine=process)
+    assert "executor   : process" in rendered
+    assert "shm all-to-all exchange" in rendered

@@ -281,10 +281,9 @@ class TestShardedEngine:
         """
         import repro.core.engines.sharded as sharded_mod
 
-        monkeypatch.setattr(sharded_mod, "_PARALLEL_MIN_ROWS", 0)
         monkeypatch.setattr(sharded_mod.os, "cpu_count", lambda: 4)
         monkeypatch.setattr(sharded_mod, "_SHARED_POOL", None)
-        engine = ShardedEngine(shards=4)
+        engine = ShardedEngine(shards=4, executor="thread", dispatch_min=0)
         assert engine._shard_pool() is not None
         naive, fast = NaiveEngine(), FastEngine()
         big = random_store(40, 500, seed=17)
