@@ -267,6 +267,21 @@ class ResultSet(AbstractSet):
             return self._rows.pairs()
         return frozenset((t[0], t[2]) for t in self)
 
+    def pages(self, page_size: int) -> Iterator["ResultSet"]:
+        """Iterate this window as consecutive ``page_size``-row windows.
+
+        Each page is itself a lazy :class:`ResultSet` over the same
+        undecoded payload — the query service streams large results
+        page by page over WebSocket without ever decoding (or holding)
+        the full result server-side.  Iteration order is the cursor's
+        deterministic order, so pages tile the window exactly.
+        """
+        if page_size <= 0:
+            raise AlgebraError(f"page size must be positive, got {page_size}")
+        total = len(self)
+        for start in range(0, total, page_size):
+            yield self.offset(start).limit(page_size)
+
     # -- set behaviour ---------------------------------------------------- #
 
     __hash__ = AbstractSet._hash

@@ -35,6 +35,12 @@ Usage (after installation, or via ``python -m repro.cli``)::
     # Store statistics
     python -m repro.cli info store.tstore
 
+    # Serve a store over HTTP/WebSocket, then query it remotely
+    python -m repro.cli serve store.tstore --port 8377 --backend sharded
+    python -m repro.cli connect http://127.0.0.1:8377 "star[1,2,3'; 3=1'](E)"
+    python -m repro.cli connect http://127.0.0.1:8377 "E" --stream
+    python -m repro.cli connect http://127.0.0.1:8377 --metrics
+
 Store files use the :mod:`repro.triplestore.io` text format.
 """
 
@@ -227,6 +233,121 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_tenants(args: argparse.Namespace) -> dict:
+    """The tenant sessions a ``serve`` invocation asks for."""
+    specs: list[tuple[str, str]] = [("default", args.store)]
+    for raw in args.tenant or ():
+        name, sep, path = raw.partition("=")
+        if not sep or not name or not path:
+            raise ReproError(f"--tenant expects NAME=STORE_PATH, got {raw!r}")
+        specs.append((name, path))
+    tenants = {}
+    for name, path in specs:
+        tenants[name] = Database.open(
+            path,
+            backend=args.backend,
+            shards=args.shards if args.backend == "sharded" else None,
+            executor=args.executor if args.backend == "sharded" else None,
+            workers=args.workers if args.backend == "sharded" else None,
+        )
+    return tenants
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import QueryServer, ServiceConfig
+
+    if args.backend != "sharded" and (
+        args.shards is not None
+        or args.executor is not None
+        or args.workers is not None
+    ):
+        raise ReproError(
+            "--shards/--executor/--workers only apply with --backend sharded"
+        )
+    config = ServiceConfig.from_env(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        query_timeout=args.timeout,
+        page_size=args.page_size,
+    )
+    server = QueryServer(_serve_tenants(args), config)
+    server.start()
+    tenants = ", ".join(server.pool.names())
+    print(f"serving {tenants} on {server.url}", file=sys.stderr)
+    print(
+        "endpoints: POST /v1/query /v1/prepare /v1/execute /v1/explain | "
+        "GET /v1/ws /metrics /healthz",
+        file=sys.stderr,
+    )
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
+def _print_remote_rows(body: dict, limit: int | None) -> None:
+    rows = body["rows"]
+    for row in rows:
+        print("\t".join(repr(v) for v in row))
+    total = body.get("total", len(rows))
+    if len(rows) < total:
+        print(f"... ({total - len(rows)} more; use --limit 0 for all)")
+    print(f"# {total} rows")
+
+
+def _cmd_connect(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url, tenant=args.tenant)
+    bindings = _parse_bindings(args.param)
+    if args.metrics:
+        print(client.metrics(), end="")
+        return 0
+    if args.health:
+        health = client.health()
+        print(f"status: {health['status']} (tenants: {', '.join(health['tenants'])})")
+        return 0
+    if args.expression is None:
+        raise ReproError("connect needs an expression (or --metrics/--health)")
+    if args.explain:
+        import json as _json
+
+        print(_json.dumps(client.explain(args.expression, lang=args.lang), indent=2))
+        return 0
+    limit = None if args.limit == 0 else args.limit
+    if args.stream:
+        shown = 0
+        total = 0
+        for message in client.stream(
+            args.expression,
+            lang=args.lang,
+            params=bindings,
+            page_size=args.page_size,
+        ):
+            if message.get("done"):
+                total = message["total"]
+                print(f"# {total} rows in {message['pages']} page(s)")
+                break
+            for row in message["rows"]:
+                if limit is None or shown < limit:
+                    print("\t".join(repr(v) for v in row))
+                    shown += 1
+        return 0
+    body = client.query(
+        args.expression, lang=args.lang, params=bindings, limit=limit
+    )
+    _print_remote_rows(body, limit)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -353,6 +474,106 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --executor process",
     )
     e.set_defaults(func=_cmd_explain)
+
+    s = sub.add_parser(
+        "serve", help="serve stores over HTTP/WebSocket (the query service)"
+    )
+    s.add_argument("store", help="triplestore file for the 'default' tenant")
+    s.add_argument(
+        "--tenant",
+        action="append",
+        metavar="NAME=STORE_PATH",
+        help="serve an extra isolated tenant session (repeatable)",
+    )
+    s.add_argument("--host", default=None, help="bind address (default: 127.0.0.1)")
+    s.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port (default: REPRO_SERVICE_PORT or 8377; 0 = ephemeral)",
+    )
+    s.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="execution backend for every tenant (default: set)",
+    )
+    s.add_argument("--shards", type=int, default=None)
+    s.add_argument("--executor", choices=SHARD_EXECUTORS, default=None)
+    s.add_argument("--workers", type=int, default=None)
+    s.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="queries executing concurrently before admission queues",
+    )
+    s.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="admission queue slots before requests are rejected (429)",
+    )
+    s.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-query budget in seconds (expiry answers 504)",
+    )
+    s.add_argument(
+        "--page-size",
+        type=int,
+        default=None,
+        help="default rows per WebSocket streaming page",
+    )
+    s.set_defaults(func=_cmd_serve)
+
+    c = sub.add_parser("connect", help="query a running repro serve instance")
+    c.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8377")
+    c.add_argument(
+        "expression",
+        nargs="?",
+        default=None,
+        help="query source text (omit with --metrics/--health)",
+    )
+    c.add_argument(
+        "--lang",
+        choices=["trial", "gxpath", "rpq", "nre"],
+        default="trial",
+        help="query language",
+    )
+    c.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=VALUE",
+        help="bind a $NAME placeholder (repeatable)",
+    )
+    c.add_argument("--tenant", default="default", help="tenant session name")
+    c.add_argument("--limit", type=int, default=20, help="max rows (0 = all)")
+    c.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream result pages over WebSocket instead of one response",
+    )
+    c.add_argument(
+        "--page-size",
+        type=int,
+        default=None,
+        help="rows per streamed page (with --stream)",
+    )
+    c.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the server's structured explain report as JSON",
+    )
+    c.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the server's Prometheus metrics exposition",
+    )
+    c.add_argument(
+        "--health", action="store_true", help="print the health summary"
+    )
+    c.set_defaults(func=_cmd_connect)
 
     return parser
 

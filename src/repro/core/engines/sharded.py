@@ -731,6 +731,17 @@ class ShardedEngine(VectorEngine):
         self.dispatch_min = (
             shard_dispatch_min() if dispatch_min is None else max(0, int(dispatch_min))
         )
+        #: Per-query deadline (seconds) forwarded to the worker pool on
+        #: the process executor; ``None`` defers to ``REPRO_SHARD_TIMEOUT``.
+        #: The query service maps its per-query time budget here so a
+        #: timeout genuinely aborts the workers instead of orphaning them.
+        self.query_timeout: Optional[float] = None
+        #: Fault-injection hook forwarded to the worker pool (see
+        #: ``procpool._maybe_die``): ``{"rank": r, "when": "start" |
+        #: "collective", "marker": path}``.  Test-only — lets fault
+        #: suites kill workers behind higher layers (e.g. a live query
+        #: server) without reaching into the pool.
+        self.fault: Optional[dict] = None
 
     def compile(self, expr: Expr, store: Optional[Triplestore] = None) -> PlanOp:
         """Compile with the sharded lowering step applied."""
@@ -781,6 +792,8 @@ class ShardedEngine(VectorEngine):
             plan,
             max_universe_objects=self.max_universe_objects,
             max_matrix_objects=self.max_matrix_objects,
+            timeout=self.query_timeout,
+            fault=self.fault,
         )
         return ss.cs, keys
 

@@ -318,6 +318,11 @@ class Database:
         self._batch: MutationBatch | None = None
         #: Set by :meth:`from_rdf`; used by the nSPARQL frontend.
         self.document = None
+        #: Session lifecycle hooks run by :meth:`close` (once each).
+        #: The query service registers per-session teardown here —
+        #: dropping a tenant's prepared-statement registry when its
+        #: session is closed — without the Database knowing about it.
+        self._close_hooks: list[Callable[["Database"], None]] = []
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -561,16 +566,33 @@ class Database:
     # Session lifecycle
     # ------------------------------------------------------------------ #
 
+    def add_close_hook(self, hook: Callable[["Database"], None]) -> None:
+        """Register a callback run (once) by the next :meth:`close`.
+
+        Hooks run before the session's own resource release, in
+        registration order; a hook that raises does not stop the
+        others, and the exception is swallowed — close is teardown, not
+        a failure path.
+        """
+        self._close_hooks.append(hook)
+
     def close(self) -> None:
         """Release session resources (idempotent).
 
-        Unlinks any shared-memory segments the process shard executor
+        Runs registered close hooks first (each at most once), then
+        unlinks any shared-memory segments the process shard executor
         published for this session's store — worker pools are told to
         drop their mappings first.  The session object stays usable for
         queries afterwards (segments are republished on demand); close
         exists so repeated build-query-drop cycles never accumulate
         ``/dev/shm`` entries until interpreter exit.
         """
+        hooks, self._close_hooks = self._close_hooks, []
+        for hook in hooks:
+            try:
+                hook(self)
+            except Exception:
+                pass
         for ss in getattr(self.store, "_sharded", {}).values():
             handle = getattr(ss, "_shm", None)
             if handle is not None:

@@ -139,3 +139,93 @@ class ShardWorkerError(ReproError):
     is *not* surfaced as this error: the coordinator restarts the dead
     worker and replays the query once before giving up.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for the query service layer (:mod:`repro.service`).
+
+    Every service error has a stable wire shape: the error class name
+    and message cross HTTP/WebSocket as structured JSON (see
+    :func:`repro.service.protocol.error_body`), so clients distinguish
+    admission rejections from timeouts from protocol violations without
+    parsing message text.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A malformed client request: bad JSON, wrong field types, unknown
+    routes, or a broken WebSocket frame (truncated, reserved bits,
+    unmasked client payload).  Always the client's fault — maps to the
+    4xx family on the wire, and never takes the server down."""
+
+
+class PayloadTooLargeError(ProtocolError):
+    """A request body (or WebSocket frame) exceeded the configured size
+    limit.  Carries the sizes so clients can adapt."""
+
+    def __init__(self, size: int, limit: int, what: str = "request body"):
+        self.size = size
+        self.limit = limit
+        self.what = what
+        super().__init__(f"{what} of {size} bytes exceeds the limit of {limit}")
+
+    def __reduce__(self):
+        return (PayloadTooLargeError, (self.size, self.limit, self.what))
+
+
+class AdmissionRejectedError(ServiceError):
+    """The server refused to start a query under admission control.
+
+    ``reason`` is ``"queue_full"`` (the bounded wait queue was already
+    at capacity) or ``"queue_timeout"`` (a slot did not free up within
+    the queue wait budget).  Rejected queries never executed — clients
+    can safely retry with backoff.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        super().__init__(detail or f"query rejected by admission control ({reason})")
+
+    def __reduce__(self):
+        return (AdmissionRejectedError, (self.reason, self.args[0]))
+
+
+class QueryTimeoutError(ServiceError):
+    """A query exceeded its per-query time budget.
+
+    On the process shard executor the underlying deadline machinery
+    (``REPRO_SHARD_TIMEOUT`` / :class:`ShardWorkerError`) also aborts
+    the workers; on in-process executors the server abandons the
+    request while the worker thread drains in the background.
+    """
+
+    def __init__(self, seconds: float):
+        self.seconds = seconds
+        super().__init__(f"query exceeded its {seconds:g}s time budget")
+
+    def __reduce__(self):
+        return (QueryTimeoutError, (self.seconds,))
+
+
+class RemoteError(ServiceError):
+    """A structured error relayed by a query server to its client.
+
+    The service client raises this for any non-2xx response carrying a
+    structured error body; ``remote_type`` is the server-side exception
+    class name (e.g. ``"ShardWorkerError"``), ``status`` the HTTP-level
+    code, and ``payload`` the full decoded error object.
+    """
+
+    def __init__(self, remote_type: str, message: str, status: int = 500,
+                 payload: dict | None = None):
+        self.remote_type = remote_type
+        self.status = status
+        self.payload = payload or {}
+        super().__init__(f"{remote_type}: {message}")
+
+    def __reduce__(self):
+        return (
+            RemoteError,
+            (self.remote_type, self.args[0].split(": ", 1)[-1], self.status,
+             self.payload),
+        )

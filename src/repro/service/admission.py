@@ -1,0 +1,96 @@
+"""Admission control: bounded in-flight queries, bounded wait queue.
+
+The server must degrade by *refusing* work it cannot start, not by
+stacking unbounded threads on the executors.  The controller enforces
+two limits:
+
+* ``max_inflight`` — queries executing at once; further arrivals wait;
+* ``queue_depth`` — arrivals allowed to wait.  A full queue rejects
+  immediately (``queue_full``); a queued arrival whose wait exceeds
+  ``queue_timeout`` rejects with ``queue_timeout``.
+
+Both rejections surface as a structured
+:class:`~repro.errors.AdmissionRejectedError` (HTTP 429) — the query
+never started, so clients may retry with backoff.  Gauges for the
+in-flight and queued counts are updated inline so ``/metrics`` shows
+saturation as it happens.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.errors import AdmissionRejectedError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """A semaphore with a bounded, timed wait queue and live gauges."""
+
+    def __init__(
+        self,
+        max_inflight: int,
+        queue_depth: int,
+        queue_timeout: float,
+        *,
+        inflight_gauge=None,
+        queue_gauge=None,
+        rejection_counter=None,
+    ) -> None:
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self.queue_timeout = queue_timeout
+        self._slots = threading.Semaphore(max_inflight)
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._queued = 0
+        self._inflight_gauge = inflight_gauge
+        self._queue_gauge = queue_gauge
+        self._rejections = rejection_counter
+
+    def _reject(self, reason: str, detail: str) -> None:
+        if self._rejections is not None:
+            self._rejections.labels(reason=reason).inc()
+        raise AdmissionRejectedError(reason, detail)
+
+    @contextmanager
+    def admit(self):
+        """Hold one execution slot for the duration of the block."""
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                if self._queued >= self.queue_depth:
+                    self._reject(
+                        "queue_full",
+                        f"server is at {self.max_inflight} in-flight "
+                        f"queries with {self._queued} already waiting",
+                    )
+                self._queued += 1
+                if self._queue_gauge is not None:
+                    self._queue_gauge.set(self._queued)
+            try:
+                ok = self._slots.acquire(timeout=self.queue_timeout)
+            finally:
+                with self._lock:
+                    self._queued -= 1
+                    if self._queue_gauge is not None:
+                        self._queue_gauge.set(self._queued)
+            if not ok:
+                self._reject(
+                    "queue_timeout",
+                    f"no execution slot freed up within "
+                    f"{self.queue_timeout:g}s",
+                )
+        with self._lock:
+            self._inflight += 1
+            if self._inflight_gauge is not None:
+                self._inflight_gauge.set(self._inflight)
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                if self._inflight_gauge is not None:
+                    self._inflight_gauge.set(self._inflight)
+            self._slots.release()

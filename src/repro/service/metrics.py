@@ -1,0 +1,284 @@
+"""A small Prometheus-style metrics registry (no external deps).
+
+Counters, gauges and histograms, optionally labeled, rendered in the
+Prometheus text exposition format (version 0.0.4) by
+:meth:`MetricsRegistry.expose`.  The output is deterministic — metric
+families render in registration order, children in sorted label order,
+values through one formatter — so the golden test can pin the full
+exposition of a fresh server byte for byte.
+
+The registry is intentionally minimal: no timestamps, no exemplars, no
+process collectors.  Everything the service exports is either updated
+inline on the request path or refreshed at scrape time from the tenant
+sessions' own counters (see ``QueryServer._refresh_metrics``), which is
+what lets the soak test reconcile ``/metrics`` against
+``Database.cache_info()`` exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Latency buckets (seconds) for query/request histograms: sub-ms to
+#: tens of seconds, roughly ×4 per step — wide because backends span
+#: sub-ms set lookups to multi-second sharded fixpoints.
+DEFAULT_BUCKETS = (0.001, 0.004, 0.016, 0.064, 0.25, 1.0, 4.0, 16.0, 64.0)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-style number: integers bare, floats via repr."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labelnames: tuple[str, ...], labelvalues: tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    inner = ",".join(
+        f'{n}="{_escape(v)}"' for n, v in zip(labelnames, labelvalues)
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+class _Metric:
+    """One metric family: a name, help text, label names, children.
+
+    An unlabeled family has exactly one child (the empty label tuple);
+    ``labels(...)`` materialises children on demand.  Children share
+    the family's lock — scrape volume is tiny next to query work.
+    """
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Iterable[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: dict[tuple[str, ...], "_Metric"] = {}
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    # -- labels --------------------------------------------------------- #
+
+    def labels(self, *values, **kv) -> "_Metric":
+        if kv:
+            if values:
+                raise ReproError("pass label values positionally or by name")
+            try:
+                values = tuple(str(kv[n]) for n in self.labelnames)
+            except KeyError as missing:
+                raise ReproError(
+                    f"metric {self.name} is missing label {missing}"
+                ) from None
+            if len(kv) != len(self.labelnames):
+                raise ReproError(
+                    f"metric {self.name} takes labels {self.labelnames}, "
+                    f"got {tuple(kv)}"
+                )
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise ReproError(
+                f"metric {self.name} takes {len(self.labelnames)} label(s), "
+                f"got {len(values)}"
+            )
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._make_child()
+                child._lock = self._lock
+                self._children[values] = child
+            return child
+
+    def _make_child(self) -> "_Metric":
+        return type(self)(self.name, self.help)
+
+    def _own_series(self) -> bool:
+        """Whether this family renders its own value (no labels)."""
+        return not self.labelnames
+
+    # -- values --------------------------------------------------------- #
+
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    # -- exposition ----------------------------------------------------- #
+
+    def _series(
+        self, labelnames: tuple[str, ...], labelvalues: tuple[str, ...]
+    ) -> Iterator[str]:
+        yield (
+            f"{self.name}{_label_str(labelnames, labelvalues)}"
+            f" {_fmt(self._value)}"
+        )
+
+    def expose(self) -> Iterator[str]:
+        yield f"# HELP {self.name} {self.help}"
+        yield f"# TYPE {self.name} {self.kind}"
+        with self._lock:
+            if self._own_series():
+                yield from self._series((), ())
+            for labelvalues in sorted(self._children):
+                yield from self._children[labelvalues]._series(
+                    self.labelnames, labelvalues
+                )
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ReproError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    def set_total(self, value: float) -> None:
+        """Mirror an externally maintained cumulative counter.
+
+        Used at scrape time for counters owned elsewhere (the session
+        caches' hit/miss totals) — the source is itself monotone.
+        """
+        with self._lock:
+            self._value = float(value)
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (the Prometheus shape)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Iterable[str] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(sorted(buckets))
+        self._counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(self.name, self.help, (), self.buckets)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._counts[bisect_left(self.buckets, value)] += 1
+            self._sum += value
+            self._count += 1
+
+    def _series(
+        self, labelnames: tuple[str, ...], labelvalues: tuple[str, ...]
+    ) -> Iterator[str]:
+        cumulative = 0
+        for bound, count in zip(self.buckets, self._counts):
+            cumulative += count
+            le = _label_str(
+                labelnames + ("le",), labelvalues + (_fmt(bound),)
+            )
+            yield f"{self.name}_bucket{le} {cumulative}"
+        cumulative += self._counts[-1]
+        le = _label_str(labelnames + ("le",), labelvalues + ("+Inf",))
+        yield f"{self.name}_bucket{le} {cumulative}"
+        suffix = _label_str(labelnames, labelvalues)
+        yield f"{self.name}_sum{suffix} {_fmt(self._sum)}"
+        yield f"{self.name}_count{suffix} {self._count}"
+
+
+class MetricsRegistry:
+    """An ordered collection of metric families with one text renderer."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help: str, labelnames=()) -> Counter:
+        return self._register(Counter(name, help, labelnames))
+
+    def gauge(self, name: str, help: str, labelnames=()) -> Gauge:
+        return self._register(Gauge(name, help, labelnames))
+
+    def histogram(
+        self, name: str, help: str, labelnames=(), buckets=DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._register(Histogram(name, help, labelnames, buckets))
+
+    def _register(self, metric: _Metric) -> "_Metric":
+        with self._lock:
+            if metric.name in self._metrics:
+                raise ReproError(f"metric {metric.name!r} already registered")
+            self._metrics[metric.name] = metric
+        return metric
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def expose(self) -> str:
+        """The full registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        with self._lock:
+            families = list(self._metrics.values())
+        for metric in families:
+            lines.extend(metric.expose())
+        return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """Parse an exposition back into ``{series-with-labels: value}``.
+
+    The test suite's reconciliation helper — not a general parser, but
+    exact for what :meth:`MetricsRegistry.expose` emits.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        out[series] = float(value)
+    return out
