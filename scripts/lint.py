@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Standalone entry point for the repo-invariant linter.
+
+Equivalent to ``repro lint`` (or ``python -m repro.analysis.lint``) with
+``--root`` defaulting to the repository this script lives in, so CI and
+pre-commit hooks can run it without installing the package::
+
+    python scripts/lint.py
+    python scripts/lint.py --select ERR-MAP,ERR-ORDER
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.analysis.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if not any(a == "--root" or a.startswith("--root=") for a in argv):
+        argv = ["--root", _ROOT] + argv
+    raise SystemExit(main(argv))

@@ -1,0 +1,28 @@
+"""Static analysis: the plan verifier and the repo-invariant linter.
+
+Two independent prongs share this package:
+
+* :mod:`repro.analysis.verify` — a pass over compiled physical plans
+  (:mod:`repro.core.plan`) that proves, without executing, that a plan
+  respects the operator typing, parameter, partitioning, lowering and
+  cache invariants catalogued in :mod:`repro.analysis.invariants`.
+  Wired into ``compile_plan`` behind the ``REPRO_PLAN_VERIFY``
+  environment variable and surfaced as ``repro lint-plan`` and the
+  ``verified`` field of ``explain --json``.
+* :mod:`repro.analysis.lint` — an ``ast``-based linter encoding the
+  repository's own coding invariants (lock discipline, shared-memory
+  lifecycle, error-boundary typing, deprecation hygiene, spawn
+  safety).  Runnable as ``repro lint`` or ``scripts/lint.py``.
+"""
+
+from repro.analysis.invariants import INVARIANTS, LINT_RULES, Violation
+from repro.analysis.verify import assert_plan_valid, verify_compiled, verify_plan
+
+__all__ = [
+    "INVARIANTS",
+    "LINT_RULES",
+    "Violation",
+    "assert_plan_valid",
+    "verify_compiled",
+    "verify_plan",
+]

@@ -1,0 +1,132 @@
+"""The invariant catalog: stable IDs for everything static analysis checks.
+
+Each entry pairs an ID with a one-line statement of the invariant.  IDs
+are the contract: tests assert on them, ``repro lint``/``lint-plan``
+print them, and ARCHITECTURE.md documents them — renaming one is a
+breaking change to all three.
+
+Plan invariants (``PLAN-*``) are checked by
+:func:`repro.analysis.verify.verify_plan` against compiled physical
+plans.  Lint rules (the rest) are checked by
+:mod:`repro.analysis.lint` against the repository source itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["INVARIANTS", "LINT_RULES", "Violation"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach found in a compiled plan.
+
+    ``invariant`` is an ID from :data:`INVARIANTS`; ``op`` the offending
+    operator's label (one line, matching ``plan.pretty()`` output) so a
+    reader can locate the node in an explain dump.
+    """
+
+    invariant: str
+    op: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.invariant} {self.message} (at {self.op})"
+
+
+#: Plan-verifier invariants, in the order the verifier reports them.
+INVARIANTS: dict[str, str] = {
+    "PLAN-ARITY": (
+        "operator shapes are well-typed: output specs are three positions "
+        "in 0..5, selection/filter conditions stay within a single "
+        "operand (positions 0..2), and every join spec's "
+        "local/cross/const condition split matches a recomputation from "
+        "its condition list (cross conditions normalised left-first)"
+    ),
+    "PLAN-KEY": (
+        "composite join keys and index access paths are consistent: "
+        "index-lookup key positions are strictly increasing within 0..2 "
+        "with one key value per position, and a join's store-index reuse "
+        "names exactly the build-side scan's θ key positions with no "
+        "build-side local filters"
+    ),
+    "PLAN-PARAM": (
+        "parameter binding is complete: every $name Param the plan "
+        "carries (condition terms, index-lookup keys) is declared by the "
+        "source expression or the provided binding set, so bind_plan can "
+        "always resolve it"
+    ),
+    "PLAN-SHARD": (
+        "shard-partition propagation is sound: every join's annotated "
+        "shard strategy equals the strategy recomputed from the "
+        "partition states of its inputs — raw (part_pos=None) operands "
+        "must be re-established by an exchange before any co-partitioned "
+        "merge, set operation or fixpoint consumes them"
+    ),
+    "PLAN-DENSE": (
+        "dense lowering is guarded: on the columnar/sharded backends "
+        "every recursive operator carries a dense/sparse strategy, and "
+        "'dense' appears only on ReachStarOp — the one operator whose "
+        "executor re-checks the object-count guard at run time and falls "
+        "back to sparse on MatrixTooLargeError"
+    ),
+    "PLAN-CACHE": (
+        "cache dependencies are sound: the plan reads only relations in "
+        "the source expression's dependency set (and touches U only if "
+        "the expression does), so the LRU's per-relation version token "
+        "invalidates every entry the plan could observe"
+    ),
+    "PLAN-COST": (
+        "cost annotations are sane: row/cost estimates are finite and "
+        "non-negative, and a node's cumulative cost is at least each "
+        "child's (monotone, so the root prices the whole plan)"
+    ),
+}
+
+
+#: Repo-linter rules (see :mod:`repro.analysis.lint` for the checkers).
+LINT_RULES: dict[str, str] = {
+    "BARE-EXCEPT": (
+        "no bare 'except:' handlers — name the exception types so "
+        "KeyboardInterrupt/SystemExit and genuine bugs propagate"
+    ),
+    "LRU-LOCK": (
+        "the _LRU cache's _data dict in db.py is touched only under "
+        "'with self._lock' (construction aside), and never from outside "
+        "the class"
+    ),
+    "SHM-UNLINK": (
+        "every module that creates a SharedMemory segment "
+        "(SharedMemory(..., create=True)) contains an unlink() path, the "
+        "triplestore/shm.py lifecycle discipline"
+    ),
+    "ERR-RAISE": (
+        "only repro.errors types are raised across the api.py / "
+        "repro.service boundary (re-raises of caught exceptions are "
+        "fine), so every failure crosses the wire as a typed, "
+        "status-mapped error"
+    ),
+    "ERR-MAP": (
+        "every concrete (leaf) repro.errors exception class appears "
+        "explicitly in service/protocol.py's _STATUS_MAP — no leaf may "
+        "rely on the family fallthrough, so adding an error type forces "
+        "a deliberate wire-status decision"
+    ),
+    "ERR-ORDER": (
+        "_STATUS_MAP entries are ordered subclass-before-superclass; an "
+        "entry preceded by one of its base classes is unreachable"
+    ),
+    "SHIM-CALL": (
+        "no calls to the deprecated query_* shims (query_pairs, "
+        "query_gxpath, query_rpq, query_nre, query_nsparql, "
+        "query_datalog) outside their own definitions and "
+        "pytest.warns(DeprecationWarning) blocks"
+    ),
+    "SPAWN-STATE": (
+        "spawn-critical modules (procpool, shm, sharded) keep "
+        "module-level state spawn-safe: no threads, pools, processes or "
+        "shared-memory segments created at import time, and "
+        "multiprocessing contexts are requested as get_context('spawn')"
+    ),
+}

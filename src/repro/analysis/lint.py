@@ -1,0 +1,624 @@
+"""The repo-invariant linter: ``ast``-based rules for this codebase.
+
+Generic linters cannot know that ``_LRU._data`` is only safe under
+``self._lock``, that every ``SharedMemory`` create needs an ``unlink``
+path, or that the service boundary must raise only ``repro.errors``
+types that the wire protocol maps to a status code.  Previous PRs
+enforced those invariants by review; this module encodes them as
+checkable rules (catalogued in
+:data:`repro.analysis.invariants.LINT_RULES`) so they hold by CI
+instead of by memory.
+
+Run as ``repro lint``, ``python -m repro.analysis.lint`` or
+``scripts/lint.py``.  Output is deterministic ``path:line: RULE-ID
+message`` lines sorted by location; exit code 1 when anything fires,
+0 on a clean tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.analysis.invariants import LINT_RULES
+
+__all__ = ["Finding", "lint_file", "main", "run_lint"]
+
+#: The deprecated Database query shims (each body delegates to the v2
+#: ``query()`` API and warns); callable only from their own definitions
+#: and from tests that assert on the DeprecationWarning itself.
+SHIM_NAMES = frozenset(
+    {
+        "query_pairs",
+        "query_gxpath",
+        "query_rpq",
+        "query_nre",
+        "query_nsparql",
+        "query_datalog",
+    }
+)
+
+#: Modules whose import runs in spawned worker processes — anything the
+#: import itself starts (threads, pools, shm segments) leaks per worker.
+SPAWN_MODULE_SUFFIXES = (
+    "repro/core/engines/procpool.py",
+    "repro/core/engines/sharded.py",
+    "repro/triplestore/shm.py",
+    "repro/triplestore/sharded.py",
+)
+
+#: Factories that must never run at module import time in spawn-critical
+#: modules (module-level locks and constants are fine; live resources
+#: are not).
+SPAWN_FACTORIES = frozenset(
+    {
+        "Thread",
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+        "Process",
+        "Pool",
+        "SharedMemory",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint-rule violation at a source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+# --------------------------------------------------------------------- #
+# Small AST helpers
+# --------------------------------------------------------------------- #
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """The trailing name of a call target (``f`` in both ``f()`` and ``m.f()``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_pytest_warns_deprecation(node: ast.expr) -> bool:
+    """Matches ``pytest.warns(DeprecationWarning...)`` as a with-item."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "warns"):
+        return False
+    if not (isinstance(func.value, ast.Name) and func.value.id == "pytest"):
+        return False
+    for arg in node.args:
+        if isinstance(arg, ast.Name) and arg.id == "DeprecationWarning":
+            return True
+    return False
+
+
+def _with_holds_lock(node) -> bool:
+    """Matches ``with self._lock:`` (also as one of several items)."""
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Attribute) and expr.attr == "_lock":
+            return True
+    return False
+
+
+# --------------------------------------------------------------------- #
+# Per-file rules
+# --------------------------------------------------------------------- #
+
+
+def _check_bare_except(tree: ast.AST, rel: str) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield Finding(
+                rel,
+                node.lineno,
+                "BARE-EXCEPT",
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                "name the exception types",
+            )
+
+
+def _check_lru_lock(tree: ast.AST, rel: str) -> Iterator[Finding]:
+    """``_LRU._data`` only under ``with self._lock`` (db.py only)."""
+    findings: list[Finding] = []
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.class_stack: list[str] = []
+            self.func_stack: list[str] = []
+            self.lock_depth = 0
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            self.class_stack.append(node.name)
+            self.generic_visit(node)
+            self.class_stack.pop()
+
+        def _visit_func(self, node) -> None:
+            self.func_stack.append(node.name)
+            self.generic_visit(node)
+            self.func_stack.pop()
+
+        visit_FunctionDef = _visit_func
+        visit_AsyncFunctionDef = _visit_func
+
+        def _visit_with(self, node) -> None:
+            held = _with_holds_lock(node)
+            self.lock_depth += held
+            self.generic_visit(node)
+            self.lock_depth -= held
+
+        visit_With = _visit_with
+        visit_AsyncWith = _visit_with
+
+        def visit_Attribute(self, node: ast.Attribute) -> None:
+            if node.attr == "_data":
+                in_lru = "_LRU" in self.class_stack
+                if not in_lru:
+                    findings.append(
+                        Finding(
+                            rel,
+                            node.lineno,
+                            "LRU-LOCK",
+                            "_LRU._data accessed from outside the class; go "
+                            "through its locked get/clear/info methods",
+                        )
+                    )
+                elif self.lock_depth == 0 and (
+                    not self.func_stack or self.func_stack[-1] != "__init__"
+                ):
+                    findings.append(
+                        Finding(
+                            rel,
+                            node.lineno,
+                            "LRU-LOCK",
+                            "_LRU._data touched outside 'with self._lock'",
+                        )
+                    )
+            self.generic_visit(node)
+
+    Visitor().visit(tree)
+    return iter(findings)
+
+
+def _check_shm_unlink(tree: ast.AST, rel: str) -> Iterator[Finding]:
+    creates = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and _call_name(node) == "SharedMemory"
+        and any(
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        )
+    ]
+    if not creates:
+        return
+    has_unlink = any(
+        isinstance(node, ast.Attribute) and node.attr == "unlink"
+        for node in ast.walk(tree)
+    )
+    if has_unlink:
+        return
+    for node in creates:
+        yield Finding(
+            rel,
+            node.lineno,
+            "SHM-UNLINK",
+            "SharedMemory created with create=True but this module has no "
+            "unlink() path; the segment outlives the process",
+        )
+
+
+def _check_err_raise(
+    tree: ast.AST, rel: str, error_classes: frozenset[str]
+) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        # Re-raising a caught variable (lowercase) and non-Name forms
+        # (``raise box["error"]``) are fine: the object was already
+        # typed where it was first raised.
+        if name is None or not name[:1].isupper():
+            continue
+        if name not in error_classes:
+            yield Finding(
+                rel,
+                node.lineno,
+                "ERR-RAISE",
+                f"raises {name}, not a repro.errors type; the wire protocol "
+                "cannot map it to a status code",
+            )
+
+
+def _check_shim_calls(tree: ast.AST, rel: str) -> Iterator[Finding]:
+    findings: list[Finding] = []
+    is_db = rel.endswith("repro/db.py")
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.func_stack: list[str] = []
+            self.warns_depth = 0
+
+        def _visit_func(self, node) -> None:
+            self.func_stack.append(node.name)
+            self.generic_visit(node)
+            self.func_stack.pop()
+
+        visit_FunctionDef = _visit_func
+        visit_AsyncFunctionDef = _visit_func
+
+        def _visit_with(self, node) -> None:
+            warns = any(
+                _is_pytest_warns_deprecation(item.context_expr)
+                for item in node.items
+            )
+            self.warns_depth += warns
+            self.generic_visit(node)
+            self.warns_depth -= warns
+
+        visit_With = _visit_with
+        visit_AsyncWith = _visit_with
+
+        def visit_Call(self, node: ast.Call) -> None:
+            name = _call_name(node)
+            if (
+                name in SHIM_NAMES
+                and self.warns_depth == 0
+                and not (is_db and name in self.func_stack)
+            ):
+                findings.append(
+                    Finding(
+                        rel,
+                        node.lineno,
+                        "SHIM-CALL",
+                        f"calls deprecated {name}(); use the v2 query() API "
+                        "(or wrap in pytest.warns(DeprecationWarning) when "
+                        "testing the shim itself)",
+                    )
+                )
+            self.generic_visit(node)
+
+    Visitor().visit(tree)
+    return iter(findings)
+
+
+def _check_spawn_state(tree: ast.AST, rel: str) -> Iterator[Finding]:
+    findings: list[Finding] = []
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.func_depth = 0
+
+        def _visit_func(self, node) -> None:
+            self.func_depth += 1
+            self.generic_visit(node)
+            self.func_depth -= 1
+
+        visit_FunctionDef = _visit_func
+        visit_AsyncFunctionDef = _visit_func
+        visit_Lambda = _visit_func
+
+        def visit_Call(self, node: ast.Call) -> None:
+            name = _call_name(node)
+            if name == "get_context":
+                ok = (
+                    len(node.args) >= 1
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value == "spawn"
+                )
+                if not ok:
+                    findings.append(
+                        Finding(
+                            rel,
+                            node.lineno,
+                            "SPAWN-STATE",
+                            "multiprocessing context must be "
+                            "get_context('spawn'); fork would snapshot "
+                            "live threads and locks",
+                        )
+                    )
+            elif name in SPAWN_FACTORIES and self.func_depth == 0:
+                findings.append(
+                    Finding(
+                        rel,
+                        node.lineno,
+                        "SPAWN-STATE",
+                        f"{name}(...) at module import time; spawn-critical "
+                        "modules re-import in every worker, so live "
+                        "resources must be created lazily",
+                    )
+                )
+            self.generic_visit(node)
+
+    Visitor().visit(tree)
+    return iter(findings)
+
+
+# --------------------------------------------------------------------- #
+# Cross-file rules: the errors.py ↔ protocol.py contract
+# --------------------------------------------------------------------- #
+
+
+def _error_hierarchy(tree: ast.AST) -> dict[str, tuple[str, ...]]:
+    """``{class name: direct base names}`` for every class in errors.py."""
+    classes: dict[str, tuple[str, ...]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            classes[node.name] = tuple(
+                b.id for b in node.bases if isinstance(b, ast.Name)
+            )
+    return classes
+
+
+def _ancestors(name: str, classes: dict[str, tuple[str, ...]]) -> set[str]:
+    out: set[str] = set()
+    stack = list(classes.get(name, ()))
+    while stack:
+        base = stack.pop()
+        if base in out or base not in classes:
+            continue
+        out.add(base)
+        stack.extend(classes[base])
+    return out
+
+
+def _status_map_entries(tree: ast.AST):
+    """The ``_STATUS_MAP`` assignment: ``(node, [(name, line), ...])``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names = [node.target.id]
+        else:
+            continue
+        if "_STATUS_MAP" in names:
+            entries = []
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                for elt in node.value.elts:
+                    if (
+                        isinstance(elt, (ast.Tuple, ast.List))
+                        and elt.elts
+                        and isinstance(elt.elts[0], ast.Name)
+                    ):
+                        entries.append((elt.elts[0].id, elt.lineno))
+            return node, entries
+    return None, []
+
+
+def _check_status_map(
+    errors_tree: ast.AST, protocol_tree: ast.AST, protocol_rel: str
+) -> Iterator[Finding]:
+    classes = _error_hierarchy(errors_tree)
+    node, entries = _status_map_entries(protocol_tree)
+    if node is None:
+        yield Finding(
+            protocol_rel,
+            1,
+            "ERR-MAP",
+            "no _STATUS_MAP assignment found; the wire protocol has no "
+            "exception→status table to check",
+        )
+        return
+    mapped = {name for name, _ in entries}
+    parents = {base for bases in classes.values() for base in bases}
+    leaves = [name for name in classes if name not in parents]
+    for leaf in leaves:
+        if leaf not in mapped:
+            yield Finding(
+                protocol_rel,
+                node.lineno,
+                "ERR-MAP",
+                f"errors.{leaf} has no explicit _STATUS_MAP entry; leaf "
+                "types must not rely on the family fallthrough",
+            )
+    # ERR-ORDER: isinstance dispatch is first-match, so an entry preceded
+    # by one of its base classes can never fire.
+    for i, (name, line) in enumerate(entries):
+        ancestors = _ancestors(name, classes)
+        for prior, _ in entries[:i]:
+            if prior in ancestors:
+                yield Finding(
+                    protocol_rel,
+                    line,
+                    "ERR-ORDER",
+                    f"{name} entry is unreachable: its base class {prior} "
+                    "matches first",
+                )
+                break
+
+
+# --------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------- #
+
+
+def _rel_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(
+    path: Path, root: Path, error_classes: frozenset[str]
+) -> list[Finding]:
+    """All per-file findings for one source file (scoped by its path)."""
+    rel = _rel_path(path, root)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    findings: list[Finding] = []
+    findings.extend(_check_bare_except(tree, rel))
+    findings.extend(_check_shm_unlink(tree, rel))
+    findings.extend(_check_shim_calls(tree, rel))
+    if rel.endswith("repro/db.py"):
+        findings.extend(_check_lru_lock(tree, rel))
+    if rel.endswith("repro/api.py") or "repro/service/" in rel:
+        findings.extend(_check_err_raise(tree, rel, error_classes))
+    if rel.endswith(SPAWN_MODULE_SUFFIXES):
+        findings.extend(_check_spawn_state(tree, rel))
+    return findings
+
+
+def _discover(root: Path, paths: Optional[Sequence[str]]) -> list[Path]:
+    if paths:
+        targets = [Path(p) if Path(p).is_absolute() else root / p for p in paths]
+    else:
+        targets = [root / d for d in ("src", "scripts", "tests", "benchmarks")]
+    files: list[Path] = []
+    for target in targets:
+        if target.is_file():
+            files.append(target)
+        elif target.is_dir():
+            files.extend(
+                p
+                for p in sorted(target.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+    return files
+
+
+def run_lint(
+    root: str | Path = ".",
+    *,
+    paths: Optional[Sequence[str]] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Lint the tree under ``root`` and return sorted findings.
+
+    ``paths`` restricts the walk to specific files/directories (still
+    resolved against ``root`` for rule scoping); ``select`` keeps only
+    the named rules, ``ignore`` drops them.  Unknown rule IDs raise
+    ``ValueError`` — a typo must not silently lint nothing.
+    """
+    root = Path(root)
+    for name, ids in (("select", select), ("ignore", ignore)):
+        unknown = sorted(set(ids or ()) - set(LINT_RULES))
+        if unknown:
+            raise ValueError(
+                f"unknown {name} rule(s) {', '.join(unknown)}; known rules: "
+                + ", ".join(sorted(LINT_RULES))
+            )
+    errors_path = root / "src" / "repro" / "errors.py"
+    error_classes: frozenset[str] = frozenset()
+    errors_tree = None
+    if errors_path.is_file():
+        errors_tree = ast.parse(errors_path.read_text(encoding="utf-8"))
+        error_classes = frozenset(_error_hierarchy(errors_tree))
+    findings: list[Finding] = []
+    for path in _discover(root, paths):
+        findings.extend(lint_file(path, root, error_classes))
+    protocol_path = root / "src" / "repro" / "service" / "protocol.py"
+    if errors_tree is not None and protocol_path.is_file():
+        protocol_tree = ast.parse(protocol_path.read_text(encoding="utf-8"))
+        findings.extend(
+            _check_status_map(
+                errors_tree, protocol_tree, _rel_path(protocol_path, root)
+            )
+        )
+    if select:
+        keep = set(select)
+        findings = [f for f in findings if f.rule in keep]
+    if ignore:
+        drop = set(ignore)
+        findings = [f for f in findings if f.rule not in drop]
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings
+
+
+def _split_rules(values: Optional[Sequence[str]]) -> Optional[list[str]]:
+    if not values:
+        return None
+    out: list[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Check the repository's own coding invariants "
+        "(see repro.analysis.invariants.LINT_RULES).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src, scripts, tests, "
+        "benchmarks under --root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root the rule scopes resolve against (default: cwd)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule IDs to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule, text in LINT_RULES.items():
+            print(f"{rule}: {text}")
+        return 0
+    try:
+        findings = run_lint(
+            args.root,
+            paths=args.paths or None,
+            select=_split_rules(args.select),
+            ignore=_split_rules(args.ignore),
+        )
+    except ValueError as err:
+        print(str(err), file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

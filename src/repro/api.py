@@ -419,6 +419,9 @@ class ExplainReport:
     :class:`repro.core.explain.Explanation`; ``plan`` the nested
     operator tree of :func:`plan_to_dict`, including per-backend
     lowering strategies (dense/sparse stars, shard join strategies).
+    ``verified`` is the plan verifier's verdict
+    (:func:`repro.analysis.verify.verify_compiled`): ``True`` when the
+    compiled plan satisfies every ``PLAN-*`` invariant.
     """
 
     expression: str
@@ -426,6 +429,7 @@ class ExplainReport:
     logical: dict
     backend: str
     compiled_by: str
+    verified: bool
     statistics: Optional[dict]
     plan: dict
 
@@ -436,6 +440,7 @@ class ExplainReport:
             "logical": self.logical,
             "backend": self.backend,
             "compiled_by": self.compiled_by,
+            "verified": self.verified,
             "statistics": self.statistics,
             "plan": self.plan,
         }
@@ -467,10 +472,14 @@ def explain_report(
     """
     from dataclasses import asdict
 
+    from repro.analysis.verify import verify_compiled
     from repro.core.explain import compile_for_explain
 
     report, plan, compiled_by, resolved_backend, engine = compile_for_explain(
         expr, store, engine, backend
+    )
+    verified = not verify_compiled(
+        expr, plan, store=store, engine=engine, backend=resolved_backend
     )
     statistics = None
     if store is not None:
@@ -497,6 +506,7 @@ def explain_report(
             f"executor {backend_info['executor']})"
         ),
         compiled_by=compiled_by,
+        verified=verified,
         statistics=statistics,
         plan=plan_to_dict(plan),
     )

@@ -233,6 +233,79 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import run_lint
+
+    def rules(values):
+        if not values:
+            return None
+        return [p.strip() for v in values for p in v.split(",") if p.strip()]
+
+    try:
+        findings = run_lint(
+            args.root,
+            paths=args.paths or None,
+            select=rules(args.select),
+            ignore=rules(args.ignore),
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from None
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_lint_plan(args: argparse.Namespace) -> int:
+    from repro.analysis.verify import verify_compiled
+    from repro.core.explain import compile_for_explain
+    from repro.errors import PlanVerificationError
+
+    expr = parse_expr(args.expression)
+    if args.optimize:
+        expr = optimize(expr)
+    if args.shards is not None and args.backend != "sharded":
+        raise ReproError("--shards only applies with --backend sharded")
+    if args.executor is not None and args.backend != "sharded":
+        raise ReproError("--executor only applies with --backend sharded")
+    store = load_path(args.store) if args.store else None
+    engine = (
+        ShardedEngine(shards=args.shards, executor=args.executor)
+        if args.backend == "sharded"
+        and (args.shards is not None or args.executor is not None)
+        else None
+    )
+    try:
+        _, plan, _, backend, engine = compile_for_explain(
+            expr, store, engine, args.backend
+        )
+    except PlanVerificationError as exc:
+        # REPRO_PLAN_VERIFY rejected the plan inside compile itself;
+        # report its violations the same way a post-hoc verify would.
+        violations = exc.violations or (str(exc),)
+        for violation in violations:
+            print(violation)
+        print(f"{len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    violations = verify_compiled(
+        expr, plan, store=store, engine=engine, backend=backend
+    )
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    n_ops = sum(1 for _ in plan.walk())
+    print(
+        f"plan verified: {n_ops} operator(s) on the "
+        f"{backend or 'set'} backend, 0 violations",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _serve_tenants(args: argparse.Namespace) -> dict:
     """The tenant sessions a ``serve`` invocation asks for."""
     specs: list[tuple[str, str]] = [("default", args.store)]
@@ -474,6 +547,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --executor process",
     )
     e.set_defaults(func=_cmd_explain)
+
+    lt = sub.add_parser(
+        "lint", help="check the repository's own coding invariants"
+    )
+    lt.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src, scripts, tests, "
+        "benchmarks under --root)",
+    )
+    lt.add_argument(
+        "--root",
+        default=".",
+        help="repository root the rule scopes resolve against (default: cwd)",
+    )
+    lt.add_argument(
+        "--select",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule IDs to run exclusively",
+    )
+    lt.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule IDs to skip",
+    )
+    lt.set_defaults(func=_cmd_lint)
+
+    lp = sub.add_parser(
+        "lint-plan",
+        help="statically verify the compiled physical plan of an expression",
+    )
+    lp.add_argument("expression", help="expression in the TriAL text syntax")
+    lp.add_argument("--optimize", action="store_true", help="apply rewrites first")
+    lp.add_argument(
+        "--store",
+        help="optional store file anchoring the plan's statistics",
+    )
+    lp.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="set",
+        help="compile (and verify) for this execution backend",
+    )
+    lp.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for --backend sharded (default: REPRO_SHARDS or 4)",
+    )
+    lp.add_argument(
+        "--executor",
+        choices=SHARD_EXECUTORS,
+        default=None,
+        help="with --backend sharded: the shard executor the plan is "
+        "annotated for",
+    )
+    lp.set_defaults(func=_cmd_lint_plan)
 
     s = sub.add_parser(
         "serve", help="serve stores over HTTP/WebSocket (the query service)"

@@ -55,7 +55,7 @@ import numpy as np
 from repro.errors import ReproError, ShardWorkerError
 from repro.core.engines.sharded import ShardedExecContext, ShardedKeys
 from repro.core.engines.vectorized import _EMPTY, _local_mask
-from repro.core.plan import IndexLookupOp, ScanOp
+from repro.core.plan import IndexLookupOp, ScanOp, plan_verify_enabled
 from repro.triplestore.columnar import sorted_unique
 from repro.triplestore.shm import attach_segment, attach_worker_store
 
@@ -297,6 +297,9 @@ class _WorkerExecContext(ShardedExecContext):
         self.pool = None
         self.dispatch_min = 0
         self._memo = {}
+        # Workers re-read the flag themselves: spawn re-imports this
+        # module, so the coordinator's value is not inherited.
+        self._verify = plan_verify_enabled()
 
     # -- ownership ------------------------------------------------------ #
 

@@ -46,7 +46,12 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.errors import EvaluationBudgetError, MatrixTooLargeError, ReproError
+from repro.errors import (
+    EvaluationBudgetError,
+    MatrixTooLargeError,
+    PlanVerificationError,
+    ReproError,
+)
 from repro.core.conditions import Cond
 from repro.core.expressions import RIGHT, Expr
 from repro.core.engines.base import TripleSet
@@ -79,6 +84,7 @@ from repro.core.plan import (
     UniverseOp,
     choose_shard_key,
     compile_plan,
+    plan_verify_enabled,
     shard_output_partition,
 )
 from repro.triplestore.columnar import sorted_unique
@@ -265,6 +271,7 @@ class ShardedExecContext:
         "pool",
         "dispatch_min",
         "_memo",
+        "_verify",
     )
 
     def __init__(
@@ -289,6 +296,10 @@ class ShardedExecContext:
             shard_dispatch_min() if dispatch_min is None else dispatch_min
         )
         self._memo: dict[int, ShardedKeys] = {}
+        #: Cached REPRO_PLAN_VERIFY verdict: the runtime twin of the
+        #: PLAN-SHARD invariant re-checks claimed partitions where the
+        #: executor relies on them (set ops, fixpoint accumulators).
+        self._verify = plan_verify_enabled()
 
     # -- entry points --------------------------------------------------- #
 
@@ -362,6 +373,29 @@ class ShardedExecContext:
             rows=rows,
         )
         return ShardedKeys(shards, pos)
+
+    def _check_partition(self, sk: ShardedKeys, what: str) -> ShardedKeys:
+        """Runtime twin of the PLAN-SHARD invariant (``REPRO_PLAN_VERIFY``).
+
+        ``_repartition`` trusts ``part_pos`` and short-circuits when it
+        already matches the target — exactly the step a stale partition
+        claim would corrupt (shard-wise set algebra on shards that are
+        not disjoint).  With verification on, consumers that rely on the
+        disjoint-partition invariant re-check the claim against the
+        actual shard contents first.
+        """
+        pos = sk.part_pos
+        if not self._verify or pos is None:
+            return sk
+        for s, shard in enumerate(sk.shards):
+            if len(shard) and not (self.ss.shard_ids(shard, pos) == s).all():
+                raise PlanVerificationError(
+                    f"PLAN-SHARD: {what} operand claims a partition on "
+                    f"position {pos + 1} but shard {s} holds rows hashed "
+                    "to other shards; a repartition was dropped or the "
+                    "partition state is stale"
+                )
+        return sk
 
     def _repartition(self, sk: ShardedKeys, pos: int) -> ShardedKeys:
         """``sk`` partitioned on ``pos`` (no-op when already there).
@@ -476,8 +510,8 @@ class ShardedExecContext:
         # Shard-wise set algebra needs both sides on one disjoint
         # partition; raw operands canonicalise to position 0.
         target = left.part_pos if left.part_pos is not None else 0
-        left = self._repartition(left, target)
-        right = self._repartition(right, target)
+        left = self._check_partition(self._repartition(left, target), "set-op")
+        right = self._check_partition(self._repartition(right, target), "set-op")
         shards = self._map(
             merge, left.shards, right.shards, rows=left.total + right.total
         )
@@ -534,7 +568,7 @@ class ShardedExecContext:
         loop — the sharded analogue of :class:`StarOp`'s hoisted index.
         """
         cs = self.cs
-        base = self._repartition(base, 0)
+        base = self._check_partition(self._repartition(base, 0), "fixpoint base")
         const_local = spec.right_local if side == RIGHT else spec.left_local
         varying_local = spec.left_local if side == RIGHT else spec.right_local
         const_cols = self._operand_cols(base, const_local)

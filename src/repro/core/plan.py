@@ -31,6 +31,7 @@ plans for the same query, which is all a planner needs.
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.errors import AlgebraError, EvaluationBudgetError
@@ -70,9 +71,23 @@ __all__ = [
     "choose_shard_key",
     "compile_plan",
     "lower_plan",
+    "plan_verify_enabled",
     "shard_output_partition",
+    "shard_plan_expectations",
     "split_conditions",
 ]
+
+#: Environment flag gating static plan verification inside compile_plan.
+#: Off by default (the hot path pays nothing); the test suite and every
+#: CI job switch it on so no unverified plan shape ships unnoticed.
+PLAN_VERIFY_ENV = "REPRO_PLAN_VERIFY"
+
+
+def plan_verify_enabled() -> bool:
+    """Whether ``REPRO_PLAN_VERIFY`` asks for verification at compile time."""
+    return os.environ.get(PLAN_VERIFY_ENV, "").strip().lower() not in (
+        "", "0", "false", "off", "no",
+    )
 
 TripleSet = frozenset[Triple]
 
@@ -782,13 +797,26 @@ def compile_plan(
         memo[e] = op
         return op
 
-    return lower_plan(
+    plan = lower_plan(
         compile_node(expr),
         stats,
         backend=backend,
         max_matrix_objects=max_matrix_objects,
         shard_key_pos=shard_key_pos,
     )
+    if plan_verify_enabled():
+        # Imported lazily: repro.analysis.verify imports this module.
+        from repro.analysis.verify import assert_plan_valid
+
+        assert_plan_valid(
+            plan,
+            expr=expr,
+            backend=backend,
+            stats=stats,
+            max_matrix_objects=max_matrix_objects,
+            shard_key_pos=shard_key_pos,
+        )
+    return plan
 
 
 def lower_plan(
@@ -921,14 +949,29 @@ def shard_output_partition(
     return None
 
 
-def _annotate_shard_plan(plan: PlanOp, key_pos: int) -> None:
-    """Annotate each join with its shard strategy (explain metadata only)."""
-    memo: dict[int, Optional[int]] = {}
+def shard_plan_expectations(
+    plan: PlanOp, key_pos: int
+) -> dict[int, tuple[Optional[int], Optional[str]]]:
+    """Recompute each operator's partition state and shard strategy.
+
+    Returns ``{id(op): (output partition position, join strategy)}`` for
+    every reachable operator (``strategy`` is ``None`` for non-joins),
+    derived purely from the plan structure via :func:`choose_shard_key`
+    and :func:`shard_output_partition` — the same propagation the
+    sharded executor performs at run time.  The lowering step applies
+    this map to annotate joins; the plan verifier
+    (:mod:`repro.analysis.verify`) recomputes it and demands the
+    annotations agree, so a plan whose strategies were tampered with —
+    or that skipped lowering — never reaches a shard-wise executor
+    claiming partitions it does not have.
+    """
+    memo: dict[int, tuple[Optional[int], Optional[str]]] = {}
 
     def part_of(op: PlanOp) -> Optional[int]:
         if id(op) in memo:
-            return memo[id(op)]
+            return memo[id(op)][0]
         part: Optional[int]
+        strategy: Optional[str] = None
         if isinstance(op, (ScanOp, IndexLookupOp)):
             part = key_pos
         elif isinstance(op, FilterOp):
@@ -951,11 +994,11 @@ def _annotate_shard_plan(plan: PlanOp, key_pos: int) -> None:
             lp, rp = part_of(op.left), part_of(op.right)
             cond, aligned = choose_shard_key(op.spec, lp, rp)
             if cond is None:
-                op.shard_strategy = "broadcast"
+                strategy = "broadcast"
             elif cond.on_data:
-                op.shard_strategy = "repartition(both(η))"
+                strategy = "repartition(both(η))"
             elif aligned == 2:
-                op.shard_strategy = "co-partitioned"
+                strategy = "co-partitioned"
             else:
                 sides = []
                 if cond.left.index != lp:
@@ -963,14 +1006,23 @@ def _annotate_shard_plan(plan: PlanOp, key_pos: int) -> None:
                 if cond.right.index - 3 != rp:
                     sides.append("right")
                 which = "both" if len(sides) == 2 else sides[0]
-                op.shard_strategy = f"repartition({which})"
+                strategy = f"repartition({which})"
             part = shard_output_partition(op.spec, cond, lp)
         else:  # UniverseOp
             part = 0
-        memo[id(op)] = part
+        memo[id(op)] = (part, strategy)
         return part
 
     part_of(plan)
+    return memo
+
+
+def _annotate_shard_plan(plan: PlanOp, key_pos: int) -> None:
+    """Annotate each join with its shard strategy (explain metadata only)."""
+    expected = shard_plan_expectations(plan, key_pos)
+    for op in plan.walk():
+        if isinstance(op, HashJoinOp):
+            op.shard_strategy = expected[id(op)][1]
 
 
 def _distinct_estimate(op: PlanOp, local_pos: int, stats) -> float:

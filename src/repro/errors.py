@@ -85,6 +85,26 @@ class UnboundParameterError(AlgebraError):
         return (UnboundParameterError, (self.name, self.known))
 
 
+class PlanVerificationError(AlgebraError):
+    """A compiled physical plan failed static verification.
+
+    Raised by :func:`repro.analysis.verify.assert_plan_valid` (and, when
+    ``REPRO_PLAN_VERIFY`` is enabled, by ``compile_plan`` itself) when a
+    plan violates one of the operator invariants catalogued in
+    :mod:`repro.analysis.invariants`.  ``violations`` carries the full
+    tuple of :class:`repro.analysis.invariants.Violation` records; the
+    message lists every invariant ID so logs stay actionable even where
+    only the string survives.
+    """
+
+    def __init__(self, message: str, violations: tuple = ()):
+        self.violations = tuple(violations)
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (PlanVerificationError, (self.args[0], self.violations))
+
+
 class ParseError(ReproError):
     """Syntax errors in any of the small text languages we parse."""
 

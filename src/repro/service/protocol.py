@@ -30,17 +30,23 @@ from repro.errors import (
     AlgebraError,
     DatalogError,
     EvaluationBudgetError,
+    FragmentError,
     GraphError,
     LogicError,
+    MatrixTooLargeError,
     ParseError,
     PayloadTooLargeError,
+    PlanVerificationError,
     ProtocolError,
     QueryTimeoutError,
+    RemoteError,
     ReproError,
     ServiceError,
     ShardWorkerError,
+    StratificationError,
     TranslationError,
     TriplestoreError,
+    UnboundParameterError,
     UnknownRelationError,
 )
 
@@ -136,17 +142,27 @@ def parse_request(payload: Any, *, require_query: bool = True) -> dict:
 # The error envelope
 # --------------------------------------------------------------------- #
 
-#: Exception class -> HTTP status.  First match in method-resolution
-#: order wins, so subclasses may override their family.
+#: Exception class -> HTTP status.  First match wins, so subclasses are
+#: listed before their families.  Every concrete leaf class in
+#: :mod:`repro.errors` appears explicitly (the ERR-MAP lint rule), so
+#: adding an error type forces a deliberate wire-status decision here.
 _STATUS_MAP: tuple[tuple[type, int], ...] = (
     (PayloadTooLargeError, 413),
     (AdmissionRejectedError, 429),
     (QueryTimeoutError, 504),
     (ShardWorkerError, 503),
     (ProtocolError, 400),
+    # A relayed remote failure surfaced by a proxying server: the
+    # upstream, not this request, is at fault — Bad Gateway.
+    (RemoteError, 502),
     (UnknownRelationError, 404),
+    (MatrixTooLargeError, 400),
     (ParseError, 400),
+    (FragmentError, 400),
+    (UnboundParameterError, 400),
+    (PlanVerificationError, 400),
     (AlgebraError, 400),
+    (StratificationError, 400),
     (DatalogError, 400),
     (LogicError, 400),
     (GraphError, 400),

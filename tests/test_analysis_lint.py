@@ -1,0 +1,379 @@
+"""Repo-invariant linter tests (:mod:`repro.analysis.lint`).
+
+The shipped tree must lint clean; each rule is then exercised against a
+minimal fixture tree that plants exactly one violation, so a rule that
+stops firing (or starts over-firing) fails a dedicated test.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LINT_RULES
+from repro.analysis.lint import Finding, main, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, body in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return root
+
+
+def rules_of(findings) -> list[str]:
+    return [f.rule for f in findings]
+
+
+# --------------------------------------------------------------------- #
+# The shipped tree
+# --------------------------------------------------------------------- #
+
+
+def test_shipped_tree_is_clean():
+    assert run_lint(REPO_ROOT) == []
+
+
+def test_finding_format():
+    f = Finding("src/x.py", 12, "BARE-EXCEPT", "bare except")
+    assert str(f) == "src/x.py:12: BARE-EXCEPT bare except"
+
+
+# --------------------------------------------------------------------- #
+# One fixture tree per rule
+# --------------------------------------------------------------------- #
+
+
+def test_bare_except(tmp_path):
+    write_tree(tmp_path, {"src/repro/x.py": """\
+        try:
+            pass
+        except:
+            pass
+    """})
+    findings = run_lint(tmp_path)
+    assert rules_of(findings) == ["BARE-EXCEPT"]
+    assert findings[0].path == "src/repro/x.py"
+    assert findings[0].line == 3
+
+
+def test_lru_lock(tmp_path):
+    write_tree(tmp_path, {"src/repro/db.py": """\
+        import threading
+
+
+        class _LRU:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def get(self, key):
+                with self._lock:
+                    return self._data.get(key)
+
+            def peek(self, key):
+                return self._data.get(key)
+    """})
+    findings = run_lint(tmp_path)
+    assert rules_of(findings) == ["LRU-LOCK"]
+    # Only the unlocked access in peek() fires; __init__ and the
+    # with-self._lock access are allowed.
+    assert findings[0].line == 14
+
+
+def test_lru_lock_does_not_fire_outside_db(tmp_path):
+    write_tree(tmp_path, {"src/repro/other.py": """\
+        class _LRU:
+            def peek(self):
+                return self._data
+    """})
+    assert run_lint(tmp_path) == []
+
+
+def test_shm_unlink(tmp_path):
+    write_tree(tmp_path, {"src/repro/leaky.py": """\
+        from multiprocessing.shared_memory import SharedMemory
+
+
+        def make():
+            return SharedMemory(create=True, size=64)
+    """})
+    findings = run_lint(tmp_path)
+    assert rules_of(findings) == ["SHM-UNLINK"]
+
+
+def test_shm_unlink_satisfied_by_cleanup(tmp_path):
+    write_tree(tmp_path, {"src/repro/clean.py": """\
+        from multiprocessing.shared_memory import SharedMemory
+
+
+        def make():
+            shm = SharedMemory(create=True, size=64)
+            shm.unlink()
+            return shm
+    """})
+    assert run_lint(tmp_path) == []
+
+
+def test_err_raise_in_service(tmp_path):
+    write_tree(tmp_path, {
+        "src/repro/errors.py": """\
+            class ReproError(Exception):
+                pass
+        """,
+        "src/repro/service/handlers.py": """\
+            from repro.errors import ReproError
+
+
+            def ok():
+                raise ReproError("fine")
+
+
+            def bad():
+                raise ValueError("leaks a stdlib type across the wire")
+        """,
+    })
+    findings = run_lint(tmp_path)
+    assert rules_of(findings) == ["ERR-RAISE"]
+    assert "ValueError" in findings[0].message
+
+
+def test_err_raise_not_scoped_to_other_modules(tmp_path):
+    write_tree(tmp_path, {
+        "src/repro/errors.py": "class ReproError(Exception):\n    pass\n",
+        "src/repro/internal.py": "def f():\n    raise ValueError('internal')\n",
+    })
+    assert run_lint(tmp_path) == []
+
+
+def test_shim_call(tmp_path):
+    write_tree(tmp_path, {"tests/test_old.py": """\
+        import pytest
+        from repro.db import query_pairs
+
+
+        def test_modern():
+            query_pairs("E")
+
+
+        def test_shim_itself():
+            with pytest.warns(DeprecationWarning):
+                query_pairs("E")
+    """})
+    findings = run_lint(tmp_path)
+    assert rules_of(findings) == ["SHIM-CALL"]
+    assert findings[0].line == 6
+
+
+def test_spawn_state(tmp_path):
+    write_tree(tmp_path, {"src/repro/core/engines/procpool.py": """\
+        from multiprocessing import get_context
+        from threading import Thread
+
+        _WATCHER = Thread(target=print)
+
+
+        def pool():
+            return get_context("fork").Pool()
+
+
+        def good_pool():
+            return get_context("spawn").Pool()
+    """})
+    findings = run_lint(tmp_path)
+    assert rules_of(findings) == ["SPAWN-STATE", "SPAWN-STATE"]
+    assert [f.line for f in findings] == [4, 8]
+
+
+def test_spawn_state_not_scoped_to_other_modules(tmp_path):
+    write_tree(tmp_path, {"src/repro/elsewhere.py": """\
+        from threading import Thread
+
+        _WATCHER = Thread(target=print)
+    """})
+    assert run_lint(tmp_path) == []
+
+
+ERRORS_FIXTURE = """\
+    class ReproError(Exception):
+        pass
+
+
+    class AlgebraError(ReproError):
+        pass
+
+
+    class ParseError(ReproError):
+        pass
+"""
+
+
+def test_err_map_missing_leaf(tmp_path):
+    write_tree(tmp_path, {
+        "src/repro/errors.py": ERRORS_FIXTURE,
+        "src/repro/service/protocol.py": """\
+            from repro.errors import AlgebraError, ReproError
+
+            _STATUS_MAP = (
+                (AlgebraError, 400),
+                (ReproError, 400),
+            )
+        """,
+    })
+    findings = run_lint(tmp_path)
+    assert rules_of(findings) == ["ERR-MAP"]
+    assert "ParseError" in findings[0].message
+
+
+def test_err_order_unreachable_entry(tmp_path):
+    write_tree(tmp_path, {
+        "src/repro/errors.py": ERRORS_FIXTURE,
+        "src/repro/service/protocol.py": """\
+            from repro.errors import AlgebraError, ParseError, ReproError
+
+            _STATUS_MAP = (
+                (ParseError, 400),
+                (ReproError, 400),
+                (AlgebraError, 418),
+            )
+        """,
+    })
+    findings = run_lint(tmp_path)
+    assert rules_of(findings) == ["ERR-ORDER"]
+    assert "AlgebraError" in findings[0].message
+
+
+def test_err_map_clean_fixture(tmp_path):
+    write_tree(tmp_path, {
+        "src/repro/errors.py": ERRORS_FIXTURE,
+        "src/repro/service/protocol.py": """\
+            from repro.errors import AlgebraError, ParseError, ReproError
+
+            _STATUS_MAP = (
+                (AlgebraError, 400),
+                (ParseError, 400),
+                (ReproError, 400),
+            )
+        """,
+    })
+    assert run_lint(tmp_path) == []
+
+
+# --------------------------------------------------------------------- #
+# Filtering, ordering, discovery
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def two_rule_tree(tmp_path):
+    return write_tree(tmp_path, {
+        "src/repro/a.py": """\
+            try:
+                pass
+            except:
+                pass
+        """,
+        "src/repro/b.py": """\
+            from repro.db import query_rpq
+
+            query_rpq("a*")
+        """,
+    })
+
+
+def test_select_and_ignore(two_rule_tree):
+    assert rules_of(run_lint(two_rule_tree)) == ["BARE-EXCEPT", "SHIM-CALL"]
+    assert rules_of(
+        run_lint(two_rule_tree, select=["SHIM-CALL"])
+    ) == ["SHIM-CALL"]
+    assert rules_of(
+        run_lint(two_rule_tree, ignore=["SHIM-CALL"])
+    ) == ["BARE-EXCEPT"]
+
+
+def test_unknown_rule_raises(two_rule_tree):
+    with pytest.raises(ValueError, match="BOGUS"):
+        run_lint(two_rule_tree, select=["BOGUS"])
+    with pytest.raises(ValueError, match="known rules"):
+        run_lint(two_rule_tree, ignore=["NOPE"])
+
+
+def test_paths_restrict_the_walk(two_rule_tree):
+    findings = run_lint(two_rule_tree, paths=["src/repro/b.py"])
+    assert rules_of(findings) == ["SHIM-CALL"]
+
+
+def test_findings_are_sorted(two_rule_tree):
+    findings = run_lint(two_rule_tree)
+    assert findings == sorted(
+        findings, key=lambda f: (f.path, f.line, f.rule, f.message)
+    )
+
+
+# --------------------------------------------------------------------- #
+# Entry points: repro lint, python -m, scripts/lint.py
+# --------------------------------------------------------------------- #
+
+
+def test_main_exit_codes(two_rule_tree, capsys):
+    assert main(["--root", str(two_rule_tree)]) == 1
+    out = capsys.readouterr()
+    assert "BARE-EXCEPT" in out.out and "SHIM-CALL" in out.out
+    assert "2 finding(s)" in out.err
+    assert main(["--root", str(two_rule_tree), "--select", "LRU-LOCK"]) == 0
+    assert main(["--root", str(two_rule_tree), "--select", "BOGUS"]) == 2
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr()
+    assert all(rule in out.out for rule in LINT_RULES)
+
+
+def test_cli_lint_subcommand(two_rule_tree):
+    from repro.cli import main as cli_main
+
+    assert cli_main(["lint", "--root", str(two_rule_tree)]) == 1
+    assert cli_main(["lint", "--root", str(REPO_ROOT)]) == 0
+
+
+def test_cli_lint_plan_subcommand(capsys):
+    from repro.cli import main as cli_main
+
+    rc = cli_main([
+        "lint-plan", "join[1,2,3'; 3=1'](E, E)",
+        "--backend", "sharded", "--shards", "3",
+    ])
+    assert rc == 0
+    assert "plan verified" in capsys.readouterr().err
+
+
+def test_scripts_lint_wrapper():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "lint.py")],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_module_runnable():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.lint", "--list-rules"],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0
+    assert "BARE-EXCEPT" in proc.stdout

@@ -1,0 +1,339 @@
+"""Plan-verifier tests (:mod:`repro.analysis.verify`).
+
+Two halves, mirroring the subsystem's promise:
+
+* **zero false positives** — every plan the compiler produces, across
+  backends and the diffcheck expression generators, verifies clean;
+* **mutation corpus** — a seeded corpus of hand-broken plans (swapped
+  key positions, dropped repartitions, phantom parameters, …) is
+  rejected, each with the *expected* invariant ID, so a regression in
+  one check cannot hide behind another.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import verify_compiled, verify_plan
+from repro.analysis.verify import assert_plan_valid
+from repro.core.conditions import Cond
+from repro.core.expressions import Join, Rel, Select, Star
+from repro.core.optimizer import optimize
+from repro.core.params import canonicalize_constants, expr_params
+from repro.core.plan import (
+    FilterOp,
+    HashJoinOp,
+    ReachStarOp,
+    ScanOp,
+    StarOp,
+    compile_plan,
+    plan_verify_enabled,
+)
+from repro.core.positions import Const, Param, Pos
+from repro.errors import PlanVerificationError
+from repro.service.protocol import status_for
+from repro.triplestore.model import Triplestore
+
+from tests.conftest import expressions
+from tests.diffcheck import random_expression, random_triplestore
+
+# One lowering configuration per backend the executors support; the
+# sharded entries cover both the default partition position and a
+# non-default one (position 3 of the triple).
+BACKEND_CONFIGS = (
+    {"backend": "set"},
+    {"backend": "columnar"},
+    {"backend": "columnar", "max_matrix_objects": 4},
+    {"backend": "sharded", "shard_key_pos": 0},
+    {"backend": "sharded", "shard_key_pos": 2},
+)
+
+
+@pytest.fixture()
+def store() -> Triplestore:
+    return Triplestore({"R": {(1, 2, 3), (3, 4, 5), (5, 6, 7)}, "S": {(1, 1, 1)}})
+
+
+def ids(violations) -> list:
+    return sorted({v.invariant for v in violations})
+
+
+# --------------------------------------------------------------------- #
+# Zero false positives
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_generated_plans_verify_clean(seed):
+    """Diffcheck-generator plans verify clean on every backend config."""
+    rng = random.Random(seed)
+    gen_store = random_triplestore(rng)
+    expr = random_expression(rng, max_depth=3)
+    stats = gen_store.stats()
+    for source in (expr, optimize(expr)):
+        for use_reach in (True, False):
+            for config in BACKEND_CONFIGS:
+                plan = compile_plan(
+                    source, gen_store, use_reach=use_reach, **config
+                )
+                violations = verify_plan(
+                    plan,
+                    expr=source,
+                    stats=stats,
+                    **config,
+                )
+                assert violations == (), "\n".join(map(str, violations))
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(expr=expressions())
+def test_hypothesis_plans_verify_clean(store, expr):
+    stats = store.stats()
+    for config in BACKEND_CONFIGS:
+        plan = compile_plan(optimize(expr), store, **config)
+        assert verify_plan(plan, expr=optimize(expr), stats=stats, **config) == ()
+
+
+def test_parameterized_plans_verify_clean(store):
+    """Canonicalised (prepared-statement) plans verify with ``params=``."""
+    expr = Select(
+        Rel("R"), (Cond(Pos(0), Const(1), "=", False),)
+    )
+    canon, bindings = canonicalize_constants(expr)
+    plan = compile_plan(canon, store)
+    names = expr_params(canon)
+    assert set(names) == set(bindings)
+    assert verify_plan(plan, expr=canon, params=names) == ()
+    # verify_compiled derives the same verdict from an engine-free call.
+    assert verify_compiled(canon, plan, store=store, params=names) == ()
+
+
+# --------------------------------------------------------------------- #
+# The mutation corpus
+# --------------------------------------------------------------------- #
+
+JOIN = Join(Rel("R"), Rel("S"), (0, 1, 5), (Cond(Pos(2), Pos(3), "=", False),))
+SELECT2 = Select(
+    Rel("R"),
+    (Cond(Pos(0), Const(1), "=", False), Cond(Pos(1), Const(2), "=", False)),
+)
+STAR = Star(Rel("R"), (0, 1, 5), (Cond(Pos(2), Pos(3), "=", False),), "right")
+REACH = Star(Rel("R"), "1,2,3'", "3=1'")
+NEQ = Select(Rel("R"), (Cond(Pos(0), Pos(1), "!=", False),))
+
+
+def _first(plan, op_type):
+    return next(op for op in plan.walk() if isinstance(op, op_type))
+
+
+def _mutate_out_spec(plan):
+    plan.spec.out = (0, 1, 7)
+
+
+def _mutate_swap_cross_eq(plan):
+    c = plan.spec.cross_eq[0]
+    plan.spec.cross_eq = (Cond(c.right, c.left, c.op, c.on_data),)
+
+
+def _mutate_reverse_positions(plan):
+    plan.positions = tuple(reversed(plan.positions))
+
+
+def _mutate_index_positions(plan):
+    plan.index_positions = (1,)
+
+
+def _mutate_ghost_key_param(plan):
+    plan.key = (Param("ghost"), plan.key[1])
+
+
+def _mutate_phantom_filter_param(plan):
+    f = _first(plan, FilterOp)
+    f.conditions = f.conditions + (Cond(Pos(0), Param("phantom"), "=", False),)
+
+
+def _mutate_flip_strategy(plan):
+    plan.shard_strategy = (
+        "co-partitioned" if plan.shard_strategy != "co-partitioned" else "broadcast"
+    )
+
+
+def _mutate_drop_strategy(plan):
+    plan.shard_strategy = None
+
+
+def _mutate_star_dense(plan):
+    _first(plan, StarOp).vector_strategy = "dense"
+
+
+def _mutate_reach_unlowered(plan):
+    _first(plan, ReachStarOp).vector_strategy = None
+
+
+def _mutate_zombie_scan(plan):
+    _first(plan, ScanOp).name = "Zombie"
+
+
+def _mutate_negative_cost(plan):
+    plan.est_cost = -1.0
+
+
+# (name, source expression, backend, use_reach, mutate, expected ID).
+# Each entry models a distinct compiler/rewriter bug class; the corpus
+# intentionally exceeds the ten-mutation acceptance floor.
+MUTATIONS = (
+    ("out-spec-range", JOIN, "sharded", True, _mutate_out_spec, "PLAN-ARITY"),
+    ("cross-eq-swapped", JOIN, "sharded", True, _mutate_swap_cross_eq, "PLAN-ARITY"),
+    ("index-positions-reversed", SELECT2, "columnar", True,
+     _mutate_reverse_positions, "PLAN-KEY"),
+    ("join-index-tampered", JOIN, "sharded", True,
+     _mutate_index_positions, "PLAN-KEY"),
+    ("ghost-key-param", SELECT2, "columnar", True,
+     _mutate_ghost_key_param, "PLAN-PARAM"),
+    ("phantom-filter-param", NEQ, "set", True,
+     _mutate_phantom_filter_param, "PLAN-PARAM"),
+    ("shard-strategy-flipped", JOIN, "sharded", True,
+     _mutate_flip_strategy, "PLAN-SHARD"),
+    ("shard-strategy-dropped", JOIN, "sharded", True,
+     _mutate_drop_strategy, "PLAN-SHARD"),
+    ("star-forced-dense", STAR, "columnar", False,
+     _mutate_star_dense, "PLAN-DENSE"),
+    ("reach-star-unlowered", REACH, "columnar", True,
+     _mutate_reach_unlowered, "PLAN-DENSE"),
+    ("zombie-scan", JOIN, "set", True, _mutate_zombie_scan, "PLAN-CACHE"),
+    ("negative-cost", JOIN, "set", True, _mutate_negative_cost, "PLAN-COST"),
+)
+
+
+@pytest.mark.parametrize(
+    "name, expr, backend, use_reach, mutate, expected",
+    MUTATIONS,
+    ids=[m[0] for m in MUTATIONS],
+)
+def test_mutated_plan_rejected(store, name, expr, backend, use_reach, mutate,
+                               expected):
+    stats = store.stats()
+    plan = compile_plan(expr, store, backend=backend, use_reach=use_reach)
+    assert verify_plan(plan, backend=backend, expr=expr, stats=stats) == ()
+    mutate(plan)
+    violations = verify_plan(plan, backend=backend, expr=expr, stats=stats)
+    assert expected in ids(violations), (
+        f"{name}: expected {expected}, got {ids(violations)}"
+    )
+
+
+def test_assert_plan_valid_raises_with_violations(store):
+    plan = compile_plan(JOIN, store)
+    plan.est_cost = -1.0
+    with pytest.raises(PlanVerificationError) as err:
+        assert_plan_valid(plan, expr=JOIN)
+    assert "PLAN-COST" in str(err.value)
+    assert any(v.invariant == "PLAN-COST" for v in err.value.violations)
+
+
+def test_distinct_invariants_covered():
+    """The corpus exercises every plan invariant at least once."""
+    assert {m[5] for m in MUTATIONS} == {
+        "PLAN-ARITY", "PLAN-KEY", "PLAN-PARAM", "PLAN-SHARD",
+        "PLAN-DENSE", "PLAN-CACHE", "PLAN-COST",
+    }
+    assert len(MUTATIONS) >= 10
+
+
+# --------------------------------------------------------------------- #
+# Wiring: the compile-time gate, the wire status, the runtime check
+# --------------------------------------------------------------------- #
+
+
+def test_plan_verify_env_gate(monkeypatch):
+    for off in ("", "0", "false", "off", "no"):
+        monkeypatch.setenv("REPRO_PLAN_VERIFY", off)
+        assert not plan_verify_enabled()
+    for on in ("1", "true", "yes", "anything"):
+        monkeypatch.setenv("REPRO_PLAN_VERIFY", on)
+        assert plan_verify_enabled()
+    monkeypatch.delenv("REPRO_PLAN_VERIFY")
+    assert not plan_verify_enabled()
+
+
+def test_compile_plan_calls_verifier_when_enabled(store, monkeypatch):
+    """The compile hook fires exactly when the env gate is on."""
+    import repro.analysis.verify as verify_mod
+
+    calls = []
+    real = verify_mod.assert_plan_valid
+
+    def spy(plan, **kwargs):
+        calls.append(kwargs["backend"])
+        return real(plan, **kwargs)
+
+    monkeypatch.setattr(verify_mod, "assert_plan_valid", spy)
+    monkeypatch.setenv("REPRO_PLAN_VERIFY", "0")
+    compile_plan(JOIN, store)
+    assert calls == []
+    monkeypatch.setenv("REPRO_PLAN_VERIFY", "1")
+    compile_plan(JOIN, store, backend="columnar")
+    assert calls == ["columnar"]
+
+
+def test_plan_verification_error_status():
+    assert status_for(PlanVerificationError("broken", ())) == 400
+
+
+def test_runtime_partition_check(store):
+    """A stale partition claim is caught at execution time."""
+    from repro.core.engines.sharded import ShardedExecContext, ShardedKeys
+
+    ctx = ShardedExecContext(store, shards=3, key_pos=0)
+    assert ctx._verify  # conftest sets REPRO_PLAN_VERIFY=1
+    good = ShardedKeys(list(ctx.ss.relation_shards("R")), 0)
+    assert ctx._check_partition(good, "set-op") is good
+    # The same shards claiming a partition on position 2: rows in shard
+    # s are hashed on position 0, so the claim is a lie.
+    bad = ShardedKeys(list(ctx.ss.relation_shards("R")), 1)
+    with pytest.raises(PlanVerificationError, match="PLAN-SHARD"):
+        ctx._check_partition(bad, "set-op")
+
+
+def test_runtime_partition_check_disabled(store, monkeypatch):
+    from repro.core.engines.sharded import ShardedExecContext, ShardedKeys
+
+    monkeypatch.setenv("REPRO_PLAN_VERIFY", "0")
+    ctx = ShardedExecContext(store, shards=3, key_pos=0)
+    bad = ShardedKeys(list(ctx.ss.relation_shards("R")), 1)
+    assert ctx._check_partition(bad, "set-op") is bad
+
+
+# --------------------------------------------------------------------- #
+# verify_compiled: engine-derived configuration
+# --------------------------------------------------------------------- #
+
+
+def test_verify_compiled_derives_engine_config(store):
+    from repro.core.engines.sharded import ShardedEngine
+    from repro.core.engines.vectorized import VectorEngine
+
+    for engine in (None, VectorEngine(), ShardedEngine(shards=3)):
+        backend = getattr(engine, "backend", None) or "set"
+        plan = compile_plan(
+            JOIN,
+            store,
+            backend=backend,
+            shard_key_pos=getattr(engine, "key_pos", 0),
+        )
+        assert verify_compiled(JOIN, plan, store=store, engine=engine) == ()
+
+
+def test_explain_report_carries_verified_flag(store):
+    from repro.api import explain_report
+
+    report = explain_report(Rel("R"), store=store)
+    assert report.verified is True
+    assert report.to_dict()["verified"] is True
