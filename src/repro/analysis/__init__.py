@@ -1,6 +1,7 @@
-"""Static analysis: the plan verifier and the repo-invariant linter.
+"""Static analysis: plan verifier, repo linter and semantic analyzer.
 
-Two independent prongs share this package:
+Three independent prongs share this package (and one ``Finding``
+record plus one rule-ID namespace, :data:`repro.analysis.invariants.RULES`):
 
 * :mod:`repro.analysis.verify` — a pass over compiled physical plans
   (:mod:`repro.core.plan`) that proves, without executing, that a plan
@@ -12,15 +13,32 @@ Two independent prongs share this package:
 * :mod:`repro.analysis.lint` — an ``ast``-based linter encoding the
   repository's own coding invariants (lock discipline, shared-memory
   lifecycle, error-boundary typing, deprecation hygiene, spawn
-  safety).  Runnable as ``repro lint`` or ``scripts/lint.py``.
+  safety, env-var documentation).  Runnable as ``repro lint`` or
+  ``scripts/lint.py``.
+* :mod:`repro.analysis.semantics` — satisfiability / emptiness /
+  redundancy verdicts over TriAL(*) expressions (union-find closure of
+  condition conjunctions, bottom-up emptiness).  The verdicts gate the
+  optimizer's pruning rewrites and the planner's constant-empty
+  short-circuit, and surface as ``repro analyze``, the ``analysis``
+  field of ``explain --json`` and service-envelope warnings.
 """
 
-from repro.analysis.invariants import INVARIANTS, LINT_RULES, Violation
+from repro.analysis.invariants import (
+    INVARIANTS,
+    LINT_RULES,
+    RULES,
+    SEM_RULES,
+    Finding,
+    Violation,
+)
 from repro.analysis.verify import assert_plan_valid, verify_compiled, verify_plan
 
 __all__ = [
     "INVARIANTS",
     "LINT_RULES",
+    "RULES",
+    "SEM_RULES",
+    "Finding",
     "Violation",
     "assert_plan_valid",
     "verify_compiled",

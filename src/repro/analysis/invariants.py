@@ -1,38 +1,74 @@
 """The invariant catalog: stable IDs for everything static analysis checks.
 
 Each entry pairs an ID with a one-line statement of the invariant.  IDs
-are the contract: tests assert on them, ``repro lint``/``lint-plan``
-print them, and ARCHITECTURE.md documents them — renaming one is a
-breaking change to all three.
+are the contract: tests assert on them, ``repro lint``/``lint-plan``/
+``repro analyze`` print them, and ARCHITECTURE.md documents them —
+renaming one is a breaking change to all three.
 
 Plan invariants (``PLAN-*``) are checked by
 :func:`repro.analysis.verify.verify_plan` against compiled physical
-plans.  Lint rules (the rest) are checked by
-:mod:`repro.analysis.lint` against the repository source itself.
+plans.  Lint rules are checked by :mod:`repro.analysis.lint` against
+the repository source itself.  Semantic rules (``SEM-*``) are checked
+by :mod:`repro.analysis.semantics` against TriAL expressions (and, for
+``SEM-UNSAT``/``SEM-DEAD-RULE``, Datalog programs).
+
+All three families report through one frozen :class:`Finding` record
+and share one ID namespace (:data:`RULES`), so ``--select``/``--ignore``
+work uniformly across ``repro lint``, ``repro lint-plan`` and
+``repro analyze``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["INVARIANTS", "LINT_RULES", "Violation"]
+__all__ = ["INVARIANTS", "LINT_RULES", "SEM_RULES", "RULES", "Finding", "Violation"]
 
 
 @dataclass(frozen=True)
-class Violation:
-    """One invariant breach found in a compiled plan.
+class Finding:
+    """One rule violation, from any analysis family.
 
-    ``invariant`` is an ID from :data:`INVARIANTS`; ``op`` the offending
-    operator's label (one line, matching ``plan.pretty()`` output) so a
-    reader can locate the node in an explain dump.
+    ``rule`` is an ID from :data:`RULES`.  The location fields are
+    family-specific: lint findings carry a source ``path``/``line``,
+    plan and semantic findings carry ``op`` — the offending operator's
+    one-line label (matching ``plan.pretty()`` output for plans, the
+    expression's paper-style repr for semantic findings) so a reader
+    can locate the node in an explain dump.
     """
 
-    invariant: str
-    op: str
+    rule: str
     message: str
+    path: str = ""
+    line: int = 0
+    op: str = ""
+
+    @property
+    def invariant(self) -> str:
+        """Alias for :attr:`rule` (the pre-unification field name)."""
+        return self.rule
+
+    def to_dict(self) -> dict[str, object]:
+        """Wire form (explain reports, service warnings): only the
+        location fields the finding actually carries."""
+        out: dict[str, object] = {"rule": self.rule, "message": self.message}
+        if self.path:
+            out["path"] = self.path
+            out["line"] = self.line
+        if self.op:
+            out["op"] = self.op
+        return out
 
     def __str__(self) -> str:
-        return f"{self.invariant} {self.message} (at {self.op})"
+        if self.path:
+            return f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.op:
+            return f"{self.rule} {self.message} (at {self.op})"
+        return f"{self.rule} {self.message}"
+
+
+#: Pre-unification name for plan-verifier findings; same record type.
+Violation = Finding
 
 
 #: Plan-verifier invariants, in the order the verifier reports them.
@@ -129,4 +165,51 @@ LINT_RULES: dict[str, str] = {
         "shared-memory segments created at import time, and "
         "multiprocessing contexts are requested as get_context('spawn')"
     ),
+    "ENV-DOC": (
+        "every REPRO_* environment variable read under src/ appears in "
+        "the README's environment-variable table — configuration knobs "
+        "must not drift out of the documentation"
+    ),
 }
+
+
+#: Semantic-analyzer rules (see :mod:`repro.analysis.semantics`).
+SEM_RULES: dict[str, str] = {
+    "SEM-UNSAT": (
+        "a selection/join condition list is unsatisfiable: the "
+        "union-find closure of its equalities forces two distinct "
+        "constants together or contradicts one of its inequalities, so "
+        "the operator provably produces no triples"
+    ),
+    "SEM-EMPTY": (
+        "a subexpression is provably empty on every store: emptiness "
+        "propagates bottom-up (unsatisfiable conditions, Diff(e, e), "
+        "empty join/intersect operands, star of an empty base)"
+    ),
+    "SEM-TRIVIAL-STAR": (
+        "a Kleene star never iterates: its step conditions are "
+        "unsatisfiable (star(e) ≡ e) or its operand is the same star "
+        "(closures are idempotent), so the fixpoint is the base"
+    ),
+    "SEM-REDUNDANT": (
+        "a condition list is not a minimal core: some condition is "
+        "implied by the union-find closure of the others (duplicate, "
+        "constant-true, or entailed equality/inequality) and can be "
+        "dropped without changing the result"
+    ),
+    "SEM-UNKNOWN-REL": (
+        "the expression references a relation the supplied store does "
+        "not define; the reference evaluates empty and is usually a "
+        "typo (informational — schemas may legitimately grow later)"
+    ),
+    "SEM-DEAD-RULE": (
+        "a Datalog rule can never contribute to the query answer: its "
+        "body is unsatisfiable or its head predicate is unreachable "
+        "from the answer predicate in the dependency graph"
+    ),
+}
+
+
+#: Every analysis rule, one namespace — the ``--select``/``--ignore``
+#: vocabulary shared by ``repro lint``, ``lint-plan`` and ``analyze``.
+RULES: dict[str, str] = {**INVARIANTS, **LINT_RULES, **SEM_RULES}

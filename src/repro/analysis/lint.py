@@ -19,12 +19,12 @@ from __future__ import annotations
 
 import argparse
 import ast
+import re
 import sys
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence
 
-from repro.analysis.invariants import LINT_RULES
+from repro.analysis.invariants import LINT_RULES, RULES, Finding
 
 __all__ = ["Finding", "lint_file", "main", "run_lint"]
 
@@ -66,17 +66,9 @@ SPAWN_FACTORIES = frozenset(
 )
 
 
-@dataclass(frozen=True)
-class Finding:
-    """One lint-rule violation at a source location."""
-
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+def _finding(path: str, line: int, rule: str, message: str) -> Finding:
+    """A lint finding (source-located) on the unified analysis record."""
+    return Finding(rule, message, path, line)
 
 
 # --------------------------------------------------------------------- #
@@ -126,7 +118,7 @@ def _with_holds_lock(node) -> bool:
 def _check_bare_except(tree: ast.AST, rel: str) -> Iterator[Finding]:
     for node in ast.walk(tree):
         if isinstance(node, ast.ExceptHandler) and node.type is None:
-            yield Finding(
+            yield _finding(
                 rel,
                 node.lineno,
                 "BARE-EXCEPT",
@@ -172,7 +164,7 @@ def _check_lru_lock(tree: ast.AST, rel: str) -> Iterator[Finding]:
                 in_lru = "_LRU" in self.class_stack
                 if not in_lru:
                     findings.append(
-                        Finding(
+                        _finding(
                             rel,
                             node.lineno,
                             "LRU-LOCK",
@@ -184,7 +176,7 @@ def _check_lru_lock(tree: ast.AST, rel: str) -> Iterator[Finding]:
                     not self.func_stack or self.func_stack[-1] != "__init__"
                 ):
                     findings.append(
-                        Finding(
+                        _finding(
                             rel,
                             node.lineno,
                             "LRU-LOCK",
@@ -219,7 +211,7 @@ def _check_shm_unlink(tree: ast.AST, rel: str) -> Iterator[Finding]:
     if has_unlink:
         return
     for node in creates:
-        yield Finding(
+        yield _finding(
             rel,
             node.lineno,
             "SHM-UNLINK",
@@ -246,7 +238,7 @@ def _check_err_raise(
         if name is None or not name[:1].isupper():
             continue
         if name not in error_classes:
-            yield Finding(
+            yield _finding(
                 rel,
                 node.lineno,
                 "ERR-RAISE",
@@ -292,7 +284,7 @@ def _check_shim_calls(tree: ast.AST, rel: str) -> Iterator[Finding]:
                 and not (is_db and name in self.func_stack)
             ):
                 findings.append(
-                    Finding(
+                    _finding(
                         rel,
                         node.lineno,
                         "SHIM-CALL",
@@ -333,7 +325,7 @@ def _check_spawn_state(tree: ast.AST, rel: str) -> Iterator[Finding]:
                 )
                 if not ok:
                     findings.append(
-                        Finding(
+                        _finding(
                             rel,
                             node.lineno,
                             "SPAWN-STATE",
@@ -344,7 +336,7 @@ def _check_spawn_state(tree: ast.AST, rel: str) -> Iterator[Finding]:
                     )
             elif name in SPAWN_FACTORIES and self.func_depth == 0:
                 findings.append(
-                    Finding(
+                    _finding(
                         rel,
                         node.lineno,
                         "SPAWN-STATE",
@@ -416,7 +408,7 @@ def _check_status_map(
     classes = _error_hierarchy(errors_tree)
     node, entries = _status_map_entries(protocol_tree)
     if node is None:
-        yield Finding(
+        yield _finding(
             protocol_rel,
             1,
             "ERR-MAP",
@@ -429,7 +421,7 @@ def _check_status_map(
     leaves = [name for name in classes if name not in parents]
     for leaf in leaves:
         if leaf not in mapped:
-            yield Finding(
+            yield _finding(
                 protocol_rel,
                 node.lineno,
                 "ERR-MAP",
@@ -442,7 +434,7 @@ def _check_status_map(
         ancestors = _ancestors(name, classes)
         for prior, _ in entries[:i]:
             if prior in ancestors:
-                yield Finding(
+                yield _finding(
                     protocol_rel,
                     line,
                     "ERR-ORDER",
@@ -450,6 +442,74 @@ def _check_status_map(
                     "matches first",
                 )
                 break
+
+
+# --------------------------------------------------------------------- #
+# Cross-file rule: REPRO_* env vars ↔ README documentation
+# --------------------------------------------------------------------- #
+
+#: A REPRO_* environment-variable name as it appears in a string
+#: literal.  A trailing underscore (``"REPRO_SERVICE_"``) marks a
+#: *prefix* under which vars are read dynamically.
+_ENV_VAR_RE = re.compile(r"^REPRO_[A-Z0-9_]+$")
+
+
+def _env_literals(tree: ast.AST) -> Iterator[tuple[str, int]]:
+    """Every ``REPRO_*`` string literal in a module, with its line."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and _ENV_VAR_RE.match(node.value)
+        ):
+            yield node.value, node.lineno
+
+
+def _documented_env_vars(readme_text: str) -> set[str]:
+    """REPRO_* names mentioned in README table rows (lines starting '|')."""
+    documented: set[str] = set()
+    for line in readme_text.splitlines():
+        if line.lstrip().startswith("|"):
+            documented.update(re.findall(r"REPRO_[A-Z0-9_]+", line))
+    return documented
+
+
+def _check_env_doc(root: Path) -> Iterator[Finding]:
+    """ENV-DOC: every REPRO_* var read under src/ is in the README table.
+
+    The repo threads all configuration through ``REPRO_*`` env-var name
+    constants (``_BACKEND_ENV = "REPRO_BACKEND"`` and friends), so the
+    read sites are exactly the string literals matching the name shape.
+    A literal ending in ``_`` is a dynamic *prefix* (the service config
+    reads everything under ``REPRO_SERVICE_``); it counts as documented
+    when some documented variable starts with it.
+    """
+    readme = root / "README.md"
+    if not readme.is_file():
+        return  # synthetic trees without docs have nothing to check
+    documented = _documented_env_vars(readme.read_text(encoding="utf-8"))
+    src = root / "src"
+    if not src.is_dir():
+        return
+    for path in sorted(src.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        rel = _rel_path(path, root)
+        for name, line in _env_literals(tree):
+            if name.endswith("_"):
+                ok = any(doc.startswith(name) for doc in documented)
+                what = f"prefix {name}* has no documented variable under it"
+            else:
+                ok = name in documented
+                what = f"{name} is read here but missing"
+            if not ok:
+                yield _finding(
+                    rel,
+                    line,
+                    "ENV-DOC",
+                    f"{what} from the README environment-variable table",
+                )
 
 
 # --------------------------------------------------------------------- #
@@ -517,11 +577,11 @@ def run_lint(
     """
     root = Path(root)
     for name, ids in (("select", select), ("ignore", ignore)):
-        unknown = sorted(set(ids or ()) - set(LINT_RULES))
+        unknown = sorted(set(ids or ()) - set(RULES))
         if unknown:
             raise ValueError(
                 f"unknown {name} rule(s) {', '.join(unknown)}; known rules: "
-                + ", ".join(sorted(LINT_RULES))
+                + ", ".join(sorted(RULES))
             )
     errors_path = root / "src" / "repro" / "errors.py"
     error_classes: frozenset[str] = frozenset()
@@ -540,6 +600,7 @@ def run_lint(
                 errors_tree, protocol_tree, _rel_path(protocol_path, root)
             )
         )
+    findings.extend(_check_env_doc(root))
     if select:
         keep = set(select)
         findings = [f for f in findings if f.rule in keep]

@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 from typing import Iterator, Optional
 
-from repro.analysis.invariants import Violation
+from repro.analysis.invariants import Finding, Violation
 from repro.core.expressions import LEFT, RIGHT, Expr, Universe
 from repro.core.params import expr_params, plan_params
 from repro.core.plan import (
@@ -65,6 +65,11 @@ def _unique_ops(plan: PlanOp) -> Iterator[PlanOp]:
             yield op
 
 
+def _violation(rule: str, op: str, message: str) -> Finding:
+    """A plan-verifier finding (operator-located, no source path)."""
+    return Finding(rule, message, op=op)
+
+
 def _label(op: PlanOp) -> str:
     """``op.label()``, robust to mutations that break the formatter itself."""
     try:
@@ -79,7 +84,7 @@ def _local_condition_violations(
     """Selection conditions must stay within one operand (positions 0..2)."""
     for cond in conditions:
         if cond.max_position() > 2:
-            yield Violation(
+            yield _violation(
                 "PLAN-ARITY",
                 _label(op),
                 f"{what} condition {cond!r} references a right-operand "
@@ -95,7 +100,7 @@ def _spec_violations(op: PlanOp, spec: JoinSpec) -> Iterator[Violation]:
         or len(out) != 3
         or not all(isinstance(i, int) and 0 <= i <= 5 for i in out)
     ):
-        yield Violation(
+        yield _violation(
             "PLAN-ARITY",
             _label(op),
             f"output spec {out!r} is not three positions in 1..3/1'..3'",
@@ -111,7 +116,7 @@ def _spec_violations(op: PlanOp, spec: JoinSpec) -> Iterator[Violation]:
     if actual != expected:
         names = ("left_local", "right_local", "cross_eq", "cross_neq", "const_only")
         broken = [n for n, a, e in zip(names, actual, expected) if a != e]
-        yield Violation(
+        yield _violation(
             "PLAN-ARITY",
             _label(op),
             "join-spec condition split disagrees with a recomputation from "
@@ -125,7 +130,7 @@ def _check_arity(plan: PlanOp) -> Iterator[Violation]:
         if isinstance(op, HashJoinOp):
             yield from _spec_violations(op, op.spec)
             if op.build_side not in (LEFT, RIGHT):
-                yield Violation(
+                yield _violation(
                     "PLAN-ARITY",
                     _label(op),
                     f"build side {op.build_side!r} is neither left nor right",
@@ -133,7 +138,7 @@ def _check_arity(plan: PlanOp) -> Iterator[Violation]:
         elif isinstance(op, StarOp):
             yield from _spec_violations(op, op.spec)
             if op.side not in (LEFT, RIGHT):
-                yield Violation(
+                yield _violation(
                     "PLAN-ARITY",
                     _label(op),
                     f"star side {op.side!r} is neither left nor right",
@@ -153,14 +158,14 @@ def _check_keys(plan: PlanOp) -> Iterator[Violation]:
                 or any(p not in (0, 1, 2) for p in positions)
                 or any(a >= b for a, b in zip(positions, positions[1:]))
             ):
-                yield Violation(
+                yield _violation(
                     "PLAN-KEY",
                     _label(op),
                     f"index positions {positions!r} are not strictly "
                     "increasing within 1..3",
                 )
             if len(op.key) != len(positions):
-                yield Violation(
+                yield _violation(
                     "PLAN-KEY",
                     _label(op),
                     f"lookup key has {len(op.key)} value(s) for "
@@ -169,7 +174,7 @@ def _check_keys(plan: PlanOp) -> Iterator[Violation]:
         elif isinstance(op, HashJoinOp) and op.index_positions is not None:
             build = op.right if op.build_side == RIGHT else op.left
             if not isinstance(build, ScanOp):
-                yield Violation(
+                yield _violation(
                     "PLAN-KEY",
                     _label(op),
                     "store-index reuse requires a base-relation scan on the "
@@ -179,7 +184,7 @@ def _check_keys(plan: PlanOp) -> Iterator[Violation]:
                 op.spec.right_local if op.build_side == RIGHT else op.spec.left_local
             )
             if locals_:
-                yield Violation(
+                yield _violation(
                     "PLAN-KEY",
                     _label(op),
                     "store-index reuse with local conditions on the build "
@@ -187,7 +192,7 @@ def _check_keys(plan: PlanOp) -> Iterator[Violation]:
                 )
             expected = op.spec.index_key_positions(op.build_side)
             if expected is None or op.index_positions != expected:
-                yield Violation(
+                yield _violation(
                     "PLAN-KEY",
                     _label(op),
                     f"store-index positions {op.index_positions!r} do not "
@@ -214,7 +219,7 @@ def _check_params(
         }
         for name in undeclared:
             if name in local:
-                yield Violation(
+                yield _violation(
                     "PLAN-PARAM",
                     _label(op),
                     f"parameter ${name} is not declared by the source "
@@ -229,7 +234,7 @@ def _check_shard(plan: PlanOp, shard_key_pos: int) -> Iterator[Violation]:
             continue
         want = expected[id(op)][1]
         if op.shard_strategy != want:
-            yield Violation(
+            yield _violation(
                 "PLAN-SHARD",
                 _label(op),
                 f"annotated shard strategy {op.shard_strategy!r} but the "
@@ -256,7 +261,7 @@ def _check_dense(
     for op in _unique_ops(plan):
         if isinstance(op, StarOp):
             if op.vector_strategy != "sparse":
-                yield Violation(
+                yield _violation(
                     "PLAN-DENSE",
                     _label(op),
                     f"general star lowered to {op.vector_strategy!r}; only "
@@ -265,7 +270,7 @@ def _check_dense(
                 )
         elif isinstance(op, ReachStarOp):
             if op.vector_strategy not in ("dense", "sparse"):
-                yield Violation(
+                yield _violation(
                     "PLAN-DENSE",
                     _label(op),
                     f"recursive operator carries strategy "
@@ -273,7 +278,7 @@ def _check_dense(
                     "dense/sparse lowering verdict",
                 )
             elif want is not None and op.vector_strategy != want:
-                yield Violation(
+                yield _violation(
                     "PLAN-DENSE",
                     _label(op),
                     f"lowered to {op.vector_strategy!r} but the statistics "
@@ -287,7 +292,7 @@ def _check_cache(plan: PlanOp, expr: Expr) -> Iterator[Violation]:
     uses_universe = any(isinstance(n, Universe) for n in expr.walk())
     for op in _unique_ops(plan):
         if isinstance(op, (ScanOp, IndexLookupOp)) and op.name not in allowed:
-            yield Violation(
+            yield _violation(
                 "PLAN-CACHE",
                 _label(op),
                 f"plan reads relation {op.name!r} outside the expression's "
@@ -295,7 +300,7 @@ def _check_cache(plan: PlanOp, expr: Expr) -> Iterator[Violation]:
                 "tokens would never invalidate on its updates",
             )
         elif isinstance(op, UniverseOp) and not uses_universe:
-            yield Violation(
+            yield _violation(
                 "PLAN-CACHE",
                 _label(op),
                 "plan materialises U but the expression never mentions it; "
@@ -308,13 +313,13 @@ def _check_costs(plan: PlanOp) -> Iterator[Violation]:
         for field in ("est_rows", "est_cost"):
             value = getattr(op, field)
             if not isinstance(value, (int, float)) or not math.isfinite(value):
-                yield Violation(
+                yield _violation(
                     "PLAN-COST",
                     _label(op),
                     f"{field} is {value!r}; estimates must be finite numbers",
                 )
             elif value < 0:
-                yield Violation(
+                yield _violation(
                     "PLAN-COST",
                     _label(op),
                     f"{field} is negative ({value!r})",
@@ -327,7 +332,7 @@ def _check_costs(plan: PlanOp) -> Iterator[Violation]:
                 and math.isfinite(child.est_cost)
                 and op.est_cost < child.est_cost
             ):
-                yield Violation(
+                yield _violation(
                     "PLAN-COST",
                     _label(op),
                     f"cumulative cost {op.est_cost!r} is below its child's "

@@ -421,7 +421,10 @@ class ExplainReport:
     lowering strategies (dense/sparse stars, shard join strategies).
     ``verified`` is the plan verifier's verdict
     (:func:`repro.analysis.verify.verify_compiled`): ``True`` when the
-    compiled plan satisfies every ``PLAN-*`` invariant.
+    compiled plan satisfies every ``PLAN-*`` invariant.  ``analysis``
+    carries the semantic analyzer's findings
+    (:func:`repro.analysis.semantics.analyze_expr` — ``SEM-*`` rule IDs)
+    as finding dicts; an empty list means no verdicts fired.
     """
 
     expression: str
@@ -430,6 +433,7 @@ class ExplainReport:
     backend: str
     compiled_by: str
     verified: bool
+    analysis: tuple[dict, ...]
     statistics: Optional[dict]
     plan: dict
 
@@ -441,6 +445,7 @@ class ExplainReport:
             "backend": self.backend,
             "compiled_by": self.compiled_by,
             "verified": self.verified,
+            "analysis": list(self.analysis),
             "statistics": self.statistics,
             "plan": self.plan,
         }
@@ -472,6 +477,7 @@ def explain_report(
     """
     from dataclasses import asdict
 
+    from repro.analysis.semantics import analyze_expr
     from repro.analysis.verify import verify_compiled
     from repro.core.explain import compile_for_explain
 
@@ -481,6 +487,7 @@ def explain_report(
     verified = not verify_compiled(
         expr, plan, store=store, engine=engine, backend=resolved_backend
     )
+    analysis = tuple(f.to_dict() for f in analyze_expr(expr, store))
     statistics = None
     if store is not None:
         statistics = {"triples": len(store), "objects": store.n_objects}
@@ -507,6 +514,7 @@ def explain_report(
         ),
         compiled_by=compiled_by,
         verified=verified,
+        analysis=analysis,
         statistics=statistics,
         plan=plan_to_dict(plan),
     )

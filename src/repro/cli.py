@@ -177,6 +177,10 @@ def _cmd_datalog(args: argparse.Namespace) -> int:
     if args.validate:
         validate_fragment(program, args.validate)
         print(f"# program is valid {args.validate}¬", file=sys.stderr)
+    from repro.datalog.validate import analyze_program
+
+    for finding in analyze_program(program):
+        print(f"# warning: {finding}", file=sys.stderr)
     result = db.query(program, lang="datalog")
     _print_result(result, None if args.limit == 0 else args.limit)
     return 0
@@ -233,20 +237,22 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _rule_ids(values):
+    """Flatten repeated/comma-separated ``--select``/``--ignore`` values."""
+    if not values:
+        return None
+    return [p.strip() for v in values for p in v.split(",") if p.strip()]
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import run_lint
-
-    def rules(values):
-        if not values:
-            return None
-        return [p.strip() for v in values for p in v.split(",") if p.strip()]
 
     try:
         findings = run_lint(
             args.root,
             paths=args.paths or None,
-            select=rules(args.select),
-            ignore=rules(args.ignore),
+            select=_rule_ids(args.select),
+            ignore=_rule_ids(args.ignore),
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from None
@@ -258,28 +264,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_lint_plan(args: argparse.Namespace) -> int:
-    from repro.analysis.verify import verify_compiled
-    from repro.core.explain import compile_for_explain
-    from repro.errors import PlanVerificationError
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.semantics import analyze_expr
 
     expr = parse_expr(args.expression)
     if args.optimize:
         expr = optimize(expr)
-    if args.shards is not None and args.backend != "sharded":
-        raise ReproError("--shards only applies with --backend sharded")
-    if args.executor is not None and args.backend != "sharded":
-        raise ReproError("--executor only applies with --backend sharded")
     store = load_path(args.store) if args.store else None
+    try:
+        findings = analyze_expr(
+            expr,
+            store,
+            select=_rule_ids(args.select),
+            ignore=_rule_ids(args.ignore),
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from None
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("no findings", file=sys.stderr)
+    return 0
+
+
+def _lint_plan_one(expr, store, request_backend, shards, executor) -> int:
+    """Compile + verify one expression for one backend; prints findings."""
+    from repro.analysis.verify import verify_compiled
+    from repro.core.explain import compile_for_explain
+    from repro.errors import PlanVerificationError
+
     engine = (
-        ShardedEngine(shards=args.shards, executor=args.executor)
-        if args.backend == "sharded"
-        and (args.shards is not None or args.executor is not None)
+        ShardedEngine(shards=shards, executor=executor)
+        if request_backend == "sharded"
+        and (shards is not None or executor is not None)
         else None
     )
     try:
         _, plan, _, backend, engine = compile_for_explain(
-            expr, store, engine, args.backend
+            expr, store, engine, request_backend
         )
     except PlanVerificationError as exc:
         # REPRO_PLAN_VERIFY rejected the plan inside compile itself;
@@ -304,6 +328,25 @@ def _cmd_lint_plan(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _cmd_lint_plan(args: argparse.Namespace) -> int:
+    expr = parse_expr(args.expression)
+    if args.optimize:
+        expr = optimize(expr)
+    sweep = args.backend == "all"
+    if args.shards is not None and not sweep and args.backend != "sharded":
+        raise ReproError("--shards only applies with --backend sharded")
+    if args.executor is not None and not sweep and args.backend != "sharded":
+        raise ReproError("--executor only applies with --backend sharded")
+    store = load_path(args.store) if args.store else None
+    backends = BACKENDS if sweep else (args.backend,)
+    worst = 0
+    for backend in backends:
+        shards = args.shards if backend == "sharded" else None
+        executor = args.executor if backend == "sharded" else None
+        worst = max(worst, _lint_plan_one(expr, store, backend, shards, executor))
+    return worst
 
 
 def _serve_tenants(args: argparse.Namespace) -> dict:
@@ -548,6 +591,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     e.set_defaults(func=_cmd_explain)
 
+    an = sub.add_parser(
+        "analyze",
+        help="semantic analysis: satisfiability, emptiness, redundancy",
+    )
+    an.add_argument("expression", help="expression in the TriAL text syntax")
+    an.add_argument(
+        "--store",
+        help="optional store file; enables the unknown-relation check",
+    )
+    an.add_argument(
+        "--optimize",
+        action="store_true",
+        help="apply rewrites first (verdicts then describe the optimized "
+        "query — pruning rewrites typically consume the findings)",
+    )
+    an.add_argument(
+        "--select",
+        action="append",
+        metavar="RULES",
+        help="comma-separated SEM-* rule IDs to report exclusively",
+    )
+    an.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULES",
+        help="comma-separated SEM-* rule IDs to skip",
+    )
+    an.set_defaults(func=_cmd_analyze)
+
     lt = sub.add_parser(
         "lint", help="check the repository's own coding invariants"
     )
@@ -588,9 +660,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lp.add_argument(
         "--backend",
-        choices=BACKENDS,
+        choices=(*BACKENDS, "all"),
         default="set",
-        help="compile (and verify) for this execution backend",
+        help="compile (and verify) for this execution backend; 'all' "
+        "sweeps set, columnar and sharded in one run",
     )
     lp.add_argument(
         "--shards",

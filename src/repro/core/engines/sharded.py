@@ -71,6 +71,7 @@ from repro.core.engines.vectorized import (
 from repro.core.plan import (
     DENSE_MATRIX_MAX_OBJECTS,
     DiffOp,
+    EmptyOp,
     FilterOp,
     HashJoinOp,
     IndexLookupOp,
@@ -469,6 +470,8 @@ class ShardedExecContext:
             return self._star(op)
         if isinstance(op, ReachStarOp):
             return self._reach_star(op)
+        if isinstance(op, EmptyOp):
+            return self._empty()
         if isinstance(op, UniverseOp):
             return self._universe()
         raise NotImplementedError(  # pragma: no cover — all ops covered

@@ -50,6 +50,7 @@ from repro.core.engines.hashjoin import HashJoinEngine
 from repro.core.plan import (
     DENSE_MATRIX_MAX_OBJECTS,
     DiffOp,
+    EmptyOp,
     FilterOp,
     HashJoinOp,
     IndexLookupOp,
@@ -401,6 +402,8 @@ class VectorExecContext:
             return self._star(op)
         if isinstance(op, ReachStarOp):
             return self._reach_star(op)
+        if isinstance(op, EmptyOp):
+            return _EMPTY
         if isinstance(op, UniverseOp):
             return self._universe()
         raise NotImplementedError(  # pragma: no cover — all ops covered

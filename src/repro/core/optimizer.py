@@ -17,7 +17,16 @@ optimisations, each a semantics-preserving rewrite (property-tested in
   queries (∅ is a canonical constant-false *equality* selection, so
   the rewrites stay inside TriAL=);
 * **double-star collapse** — ``(star(e))* = star(e)`` for the *same*
-  join parameters (stars are closures, hence idempotent).
+  join parameters (stars are closures, hence idempotent);
+* **semantic pruning** (gated behind
+  :mod:`repro.analysis.semantics`) — a selection/join whose condition
+  list the union-find closure proves unsatisfiable becomes ∅
+  (``SEM-UNSAT``), a star whose step conditions are unsatisfiable
+  collapses to its base (``SEM-TRIVIAL-STAR``), and conditions implied
+  by the rest of their conjunction are dropped (``SEM-REDUNDANT``'s
+  minimal core).  Each rewrite fires only on the analyzer's verdict,
+  and the verdicts are binding-independent, so the rewrites stay sound
+  for parameterised (canonicalized) expressions.
 
 ``optimize`` applies the rules bottom-up to a fixed point.  Rewrites
 never change semantics; they are purely cost-motivated, so engines can
@@ -66,6 +75,22 @@ _FALSE_CONDITIONS = (Cond(Const("__empty__"), Const("__never__")),)
 def is_empty_expr(expr: Expr) -> bool:
     """Recognise the canonical empty expression produced by the rules."""
     return isinstance(expr, Select) and expr.conditions == _FALSE_CONDITIONS
+
+
+def _semantic_conditions(conditions: tuple[Cond, ...]) -> tuple[Cond, ...] | None:
+    """The analyzer's verdict on one conjunction: ``None`` when the
+    union-find closure proves it unsatisfiable, otherwise its minimal
+    core (conditions implied by the rest dropped).
+
+    Imported lazily — :mod:`repro.analysis.semantics` depends on the
+    core expression types, mirroring how ``compile_plan`` reaches the
+    plan verifier.
+    """
+    from repro.analysis.semantics import condition_core, conditions_unsat
+
+    if conditions_unsat(conditions):
+        return None
+    return condition_core(conditions)
 
 
 def merge_selects(expr: Select) -> Select:
@@ -125,17 +150,24 @@ def push_conditions(expr: Join) -> Expr:
     return Join(left, right, expr.out, rest)
 
 
-def _rewrite(expr: Expr) -> Expr:
+def _rewrite(expr: Expr, semantic: bool = True) -> Expr:
     """One bottom-up pass of all rules."""
     # Rewrite children first.
     if isinstance(expr, Select):
-        expr = Select(_rewrite(expr.expr), expr.conditions)
+        expr = Select(_rewrite(expr.expr, semantic), expr.conditions)
     elif isinstance(expr, (Union, Diff, Intersect)):
-        expr = type(expr)(_rewrite(expr.left), _rewrite(expr.right))
+        expr = type(expr)(
+            _rewrite(expr.left, semantic), _rewrite(expr.right, semantic)
+        )
     elif isinstance(expr, Join):
-        expr = Join(_rewrite(expr.left), _rewrite(expr.right), expr.out, expr.conditions)
+        expr = Join(
+            _rewrite(expr.left, semantic),
+            _rewrite(expr.right, semantic),
+            expr.out,
+            expr.conditions,
+        )
     elif isinstance(expr, Star):
-        expr = Star(_rewrite(expr.expr), expr.out, expr.conditions, expr.side)
+        expr = Star(_rewrite(expr.expr, semantic), expr.out, expr.conditions, expr.side)
 
     # Node-local rules.
     if isinstance(expr, Select):
@@ -145,6 +177,14 @@ def _rewrite(expr: Expr) -> Expr:
             return expr.expr
         if is_empty_expr(expr.expr):
             return expr.expr
+        if semantic and not is_empty_expr(expr):
+            conds = _semantic_conditions(expr.conditions)
+            if conds is None:
+                return _empty(expr)  # SEM-UNSAT: prune to ∅
+            if not conds:
+                return expr.expr  # every condition statically true
+            if conds != expr.conditions:
+                expr = Select(expr.expr, conds)  # SEM-REDUNDANT: minimal core
         if isinstance(expr.expr, Join):
             join = expr.expr
             pushed = [
@@ -197,6 +237,12 @@ def _rewrite(expr: Expr) -> Expr:
                 )
                 if not holds:
                     return _empty(expr)
+        if semantic:
+            conds = _semantic_conditions(expr.conditions)
+            if conds is None:
+                return _empty(expr)  # SEM-UNSAT: prune to ∅
+            if conds != expr.conditions:
+                expr = Join(expr.left, expr.right, expr.out, conds)
         return push_conditions(expr)
     if isinstance(expr, Star):
         inner = expr.expr
@@ -209,19 +255,34 @@ def _rewrite(expr: Expr) -> Expr:
             return inner  # closures are idempotent
         if is_empty_expr(inner):
             return inner
+        if semantic:
+            conds = _semantic_conditions(expr.conditions)
+            if conds is None:
+                # SEM-TRIVIAL-STAR: the step join never fires, so the
+                # fixpoint accumulator never leaves the base.
+                return inner
+            if conds != expr.conditions:
+                expr = Star(inner, expr.out, conds, expr.side)
         return expr
     return expr
 
 
-def optimize(expr: Expr, max_passes: int = 10) -> Expr:
+def optimize(expr: Expr, max_passes: int = 10, *, semantic: bool = True) -> Expr:
     """Apply all rewrite rules bottom-up until a fixed point.
+
+    ``semantic=False`` disables the analyzer-gated pruning rewrites
+    (unsatisfiable-condition elimination, minimal-core reduction),
+    leaving only the purely syntactic rules — the differential tests
+    exercise both settings.
 
     >>> from repro.core import R, select
     >>> optimize(select(select(R("E"), "1=2"), "2=3"))
     select[2=3 & 1=2](E)
+    >>> optimize(select(R("E"), "1='a' & 1='b'"))
+    select['__empty__'='__never__'](E)
     """
     for _ in range(max_passes):
-        rewritten = _rewrite(expr)
+        rewritten = _rewrite(expr, semantic)
         if rewritten == expr:
             return expr
         expr = rewritten

@@ -181,6 +181,11 @@ def canonicalize_constants(expr: Expr) -> tuple[Expr, dict[str, Any]]:
     two expressions that differ only in constant values canonicalize to
     the same expression — the key property that lets the plan cache
     serve all of them from one entry.
+
+    Constant-only conditions are left untouched: they are static
+    booleans, not data, and keeping them visible lets ``compile_plan``
+    short-circuit provably-empty canonical expressions to a constant
+    plan.
     """
     user_params = frozenset(expr_params(expr))
     bindings: dict[str, Any] = {}
@@ -201,6 +206,14 @@ def canonicalize_constants(expr: Expr) -> tuple[Expr, dict[str, Any]]:
         out = []
         changed = False
         for cond in conditions:
+            if isinstance(cond.left, Const) and isinstance(cond.right, Const):
+                # A constant-only condition is a static boolean (notably
+                # the optimizer's canonical ∅ sentinel); parameterising
+                # it would hide a compile-time-decidable verdict from
+                # the planner's empty-plan short-circuit for no cache
+                # benefit.
+                out.append(cond)
+                continue
             left = canon_term(cond.left)
             right = canon_term(cond.right)
             if left is not cond.left or right is not cond.right:

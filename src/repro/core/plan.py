@@ -56,6 +56,7 @@ from repro.triplestore.stats import DEFAULT_STATS
 
 __all__ = [
     "PlanOp",
+    "EmptyOp",
     "ScanOp",
     "IndexLookupOp",
     "FilterOp",
@@ -420,6 +421,30 @@ def _fmt_num(x: float) -> str:
 
 def _fmt_conds(conditions: tuple[Cond, ...]) -> str:
     return " & ".join(map(repr, conditions))
+
+
+class EmptyOp(PlanOp):
+    """Constant-empty result for a provably-empty query.
+
+    Emitted by ``compile_plan`` when the semantic analyzer proves the
+    *whole* expression empty on every store and every binding (see
+    :func:`repro.analysis.semantics.expr_is_empty`), so no backend
+    scans, joins or exchanges anything.  Always a plan root — empty
+    subexpressions are the optimizer's job (canonical ∅ selections),
+    not the planner's.
+    """
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str = "expression is provably empty") -> None:
+        super().__init__(0.0, 0.0)
+        self.reason = reason
+
+    def _execute(self, ctx: ExecContext) -> TripleSet:
+        return frozenset()
+
+    def label(self) -> str:
+        return "Empty(∅)"
 
 
 class ScanOp(PlanOp):
@@ -787,6 +812,32 @@ def compile_plan(
     """
     if stats is None:
         stats = store.stats() if store is not None else DEFAULT_STATS
+
+    # Provably-empty queries compile to a constant plan on every
+    # backend: nothing to scan, join, lower or exchange.  Imported
+    # lazily like the verifier below (repro.analysis depends on core).
+    # Expressions mentioning U are exempt: materialising U is
+    # budget-guarded, and the executors' contract is to surface that
+    # error exactly when the oracle does — even from a dead branch.
+    from repro.analysis.semantics import expr_is_empty
+
+    if expr_is_empty(expr) and not any(
+        isinstance(node, Universe) for node in expr.walk()
+    ):
+        empty_plan: PlanOp = EmptyOp()
+        if plan_verify_enabled():
+            from repro.analysis.verify import assert_plan_valid
+
+            assert_plan_valid(
+                empty_plan,
+                expr=expr,
+                backend=backend,
+                stats=stats,
+                max_matrix_objects=max_matrix_objects,
+                shard_key_pos=shard_key_pos,
+            )
+        return empty_plan
+
     memo: dict[Expr, PlanOp] = {}
 
     def compile_node(e: Expr) -> PlanOp:

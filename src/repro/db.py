@@ -562,6 +562,24 @@ class Database:
             expr, self.store, engine=self.engine, backend=self.backend
         )
 
+    def analyze(self, query: Any, lang: str = "trial") -> tuple:
+        """Semantic findings (``SEM-*`` rules) for a query, unexecuted.
+
+        Runs :func:`repro.analysis.semantics.analyze_expr` over the
+        *un-optimized* translation, so verdicts the pruning rewrites
+        would consume (unsatisfiable conditions, provably-empty
+        subexpressions, redundant conditions) are still reported.
+        Languages without an algebraic translation yield no findings.
+        """
+        from repro.analysis.semantics import analyze_expr
+
+        compiled = get_language(lang).compile(self, query)
+        if isinstance(compiled, tuple):
+            compiled = compiled[0]
+        if isinstance(compiled, NativeQuery):
+            return ()
+        return tuple(analyze_expr(compiled, self.store))
+
     # ------------------------------------------------------------------ #
     # Session lifecycle
     # ------------------------------------------------------------------ #

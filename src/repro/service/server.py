@@ -354,12 +354,29 @@ class QueryServer:
             stmt = session.statement(req["statement"])
             rs = stmt.execute(**req["params"])
             lang = stmt.lang
+            warnings = self._analysis_warnings(session, stmt.expr, "trial")
         else:
             rs = session.db.query(
                 req["query"], lang=req["lang"], **req["params"]
             )
             lang = req["lang"]
-        return self._render_rows(rs, lang, req["limit"], req["offset"])
+            warnings = self._analysis_warnings(session, req["query"], lang)
+        payload = self._render_rows(rs, lang, req["limit"], req["offset"])
+        if warnings:
+            payload["analysis"] = warnings
+        return payload
+
+    @staticmethod
+    def _analysis_warnings(session: TenantSession, query, lang: str) -> list:
+        """Non-fatal semantic-analyzer findings for a query envelope.
+
+        Advisory only — an analyzer failure must never fail a query
+        that executed, so everything is swallowed here.
+        """
+        try:
+            return [f.to_dict() for f in session.db.analyze(query, lang)]
+        except Exception:
+            return []
 
     # -- non-query endpoints ------------------------------------------- #
 

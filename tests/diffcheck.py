@@ -49,6 +49,7 @@ from repro.core.expressions import (  # noqa: E402
     Star,
     Union,
 )
+from repro.core.optimizer import optimize  # noqa: E402
 from repro.core.positions import Const, Pos  # noqa: E402
 from repro.errors import ReproError  # noqa: E402
 from repro.graphdb import gxpath as gx  # noqa: E402
@@ -66,6 +67,8 @@ __all__ = [
     "random_expression",
     "random_gxpath",
     "random_nre",
+    "random_semantic_conditions",
+    "random_semantic_expression",
     "random_triplestore",
     "repro_snippet",
     "run_differential",
@@ -244,6 +247,70 @@ def random_expression(
     return Star(inner, _random_out(rng), random_conditions(rng, 5), side)
 
 
+def random_semantic_conditions(
+    rng: random.Random, max_pos: int, objects=OBJECTS
+) -> tuple[Cond, ...]:
+    """Condition lists biased toward the semantic analyzer's verdicts.
+
+    Random conditions almost never produce a contradiction or an
+    entailment, so the ``SEM-UNSAT``/``SEM-REDUNDANT``-gated rewrites
+    would go untested; these templates plant contradictory pairs,
+    duplicates, θ-entailed η-conditions and statically-decided
+    constant comparisons (plus one *satisfiable* near-miss — η-equality
+    with θ-inequality — that an unsound analyzer would wrongly prune).
+    """
+    i, j = rng.randint(0, max_pos), rng.randint(0, max_pos)
+    a, b = rng.sample(objects[:4], 2)
+    templates: tuple[tuple[Cond, ...], ...] = (
+        (Cond(Pos(i), Const(a)), Cond(Pos(i), Const(b))),
+        (Cond(Pos(i), Pos(j)), Cond(Pos(i), Pos(j), "!=")),
+        (Cond(Pos(i), Pos(j)), Cond(Pos(i), Pos(j))),
+        (Cond(Pos(i), Pos(j)), Cond(Pos(i), Pos(j), "=", True)),
+        (Cond(Pos(i), Pos(i)),),
+        (Cond(Pos(i), Pos(i), "!="),),
+        (Cond(Pos(i), Pos(j), "=", True), Cond(Pos(i), Pos(j), "!=")),
+        (Cond(Const(a), Const(b)),),
+        (Cond(Const(a), Const(a)),),
+        (Cond(Pos(i), Const(a)), Cond(Pos(j), Const(a)), Cond(Pos(i), Pos(j))),
+    )
+    conds = rng.choice(templates)
+    if rng.random() < 0.5:
+        conds = conds + random_conditions(rng, max_pos, 1, objects)
+    return tuple(dict.fromkeys(conds))
+
+
+def random_semantic_expression(
+    rng: random.Random, relations: tuple[str, ...] = ("E",)
+) -> Expr:
+    """A TriAL(*) expression seeded with analyzer-triggering shapes."""
+    base = random_expression(rng, max_depth=2, relations=relations)
+    shape = rng.choice(("select", "join", "star", "diff-self", "nested"))
+    if shape == "select":
+        return Select(base, random_semantic_conditions(rng, 2))
+    if shape == "join":
+        other = random_expression(rng, max_depth=1, relations=relations)
+        return Join(base, other, _random_out(rng), random_semantic_conditions(rng, 5))
+    if shape == "star":
+        inner = Rel(rng.choice(relations))
+        return Star(inner, _random_out(rng), random_semantic_conditions(rng, 5))
+    if shape == "diff-self":
+        # Diff(e, e) is provably empty; wrapping it exercises the
+        # bottom-up emptiness propagation through an enclosing operator.
+        dead = Diff(base, base)
+        if rng.random() < 0.5:
+            return Union(dead, random_expression(rng, 1, relations=relations))
+        return Join(
+            dead,
+            random_expression(rng, 1, relations=relations),
+            _random_out(rng),
+            random_conditions(rng, 5),
+        )
+    return Select(
+        Select(base, random_semantic_conditions(rng, 2)),
+        random_semantic_conditions(rng, 2),
+    )
+
+
 def random_gxpath(rng: random.Random, max_depth: int = 3) -> gx.PathExpr:
     """A random GXPath path expression over :data:`GRAPH_LABELS`."""
     if max_depth <= 0:
@@ -317,8 +384,20 @@ def _evaluate(engine, expr: Expr, store: Triplestore):
 
 
 def _check(engines: dict[str, object], expr: Expr, store: Triplestore):
-    """Outcomes keyed by engine, or None when everyone agrees."""
+    """Outcomes keyed by engine, or None when everyone agrees.
+
+    Every engine is run twice: on the raw expression and (under the
+    ``+opt`` keys) on its optimized rewrite with the semantic pruning
+    passes on — both must match the *raw* naive witness, so an unsound
+    rewrite (e.g. a wrong unsatisfiability verdict emptying a live
+    query) shows up as a disagreement even when every engine agrees on
+    the rewritten expression.
+    """
     outcomes = {name: _evaluate(eng, expr, store) for name, eng in engines.items()}
+    rewritten = optimize(expr)
+    if rewritten != expr:
+        for name, eng in engines.items():
+            outcomes[f"{name}+opt"] = _evaluate(eng, rewritten, store)
     witness = outcomes["naive"]
     if all(v == witness for v in outcomes.values()):
         return None
@@ -379,18 +458,22 @@ def repro_snippet(
         f"# differential-testing failure: {case_id}",
         "from repro.core import (FastEngine, HashJoinEngine, NaiveEngine,",
         "                        ShardedEngine, VectorEngine)",
+        "from repro.core.optimizer import optimize",
         "from repro.core.parser import parse",
         "from repro.triplestore.model import Triplestore",
         "",
         f"store = Triplestore({relations!r}, rho={rho!r})",
         f"expr = parse({repr(expr)!r})",
         "expected = NaiveEngine().evaluate(expr, store)",
-        "for engine in (HashJoinEngine(), HashJoinEngine(use_planner=False),",
+        "for engine in (NaiveEngine(),",
+        "               HashJoinEngine(), HashJoinEngine(use_planner=False),",
         "               FastEngine(), FastEngine(use_planner=False), VectorEngine(),",
         "               ShardedEngine(shards=3), ShardedEngine(shards=2, key_pos=2),",
         "               ShardedEngine(shards=3, executor='process', workers=2,",
         "                             dispatch_min=0)):",
         "    assert engine.evaluate(expr, store) == expected, type(engine).__name__",
+        "    assert engine.evaluate(optimize(expr), store) == expected, \\",
+        "        f'{type(engine).__name__}+opt'",
     ]
     if outcomes is not None:
         lines.insert(1, "# outcomes: " + "; ".join(
@@ -433,6 +516,9 @@ def run_differential(
             store = random_triplestore(rng)
             names = store.relation_names
             expr = random_expression(rng, max_depth=3, relations=names)
+        elif kind == "semantic":
+            store = random_triplestore(rng)
+            expr = random_semantic_expression(rng, store.relation_names)
         elif kind == "gxpath":
             graph = random_graph(rng)
             store = graph.to_triplestore()
@@ -473,7 +559,9 @@ def main(argv=None) -> int:
     parser.add_argument("--cases", type=int, default=200)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
-        "--kinds", default="trial,gxpath,nre", help="comma-separated case kinds"
+        "--kinds",
+        default="trial,semantic,gxpath,nre",
+        help="comma-separated case kinds",
     )
     parser.add_argument(
         "--out", default=None, help="directory for failing repro snippets"

@@ -43,7 +43,7 @@ def test_shipped_tree_is_clean():
 
 
 def test_finding_format():
-    f = Finding("src/x.py", 12, "BARE-EXCEPT", "bare except")
+    f = Finding("BARE-EXCEPT", "bare except", "src/x.py", 12)
     assert str(f) == "src/x.py:12: BARE-EXCEPT bare except"
 
 

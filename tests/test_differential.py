@@ -51,6 +51,17 @@ def test_trial_cases_agree_across_engines(shard):
     )
 
 
+def test_semantic_cases_agree_across_engines():
+    """Analyzer-triggering cases: contradictory/redundant conditions,
+    Diff(e, e) shells and trivial stars, checked raw and optimized
+    (the ``+opt`` axis) against the raw naive witness."""
+    _assert_no_failures(
+        run_differential(
+            max(60, TRIAL_CASES // 2), seed=17, case_kinds=("semantic",)
+        )
+    )
+
+
 def test_graph_language_cases_agree_across_engines():
     """The same matrix over GXPath/NRE → TriAL* translations."""
     _assert_no_failures(
