@@ -22,7 +22,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["INVARIANTS", "LINT_RULES", "SEM_RULES", "RULES", "Finding", "Violation"]
+__all__ = [
+    "INVARIANTS",
+    "LINT_RULES",
+    "SEM_RULES",
+    "STORE_RULES",
+    "RULES",
+    "Finding",
+    "Violation",
+]
 
 
 @dataclass(frozen=True)
@@ -170,6 +178,37 @@ LINT_RULES: dict[str, str] = {
         "the README's environment-variable table — configuration knobs "
         "must not drift out of the documentation"
     ),
+    "STOR-ATOMIC": (
+        "durable writes under src/repro/storage/ follow the "
+        "crash-atomicity discipline: any function that opens a file for "
+        "(over)writing must fsync it and rename it into place, and any "
+        "os.replace/os.rename must be preceded in the same function by a "
+        "flush+fsync (directly or via the repro.storage.fsutil helpers); "
+        "append/truncate handles ('ab', 'r+b') are the WAL's and exempt"
+    ),
+}
+
+
+#: Durable-store integrity rules (see :mod:`repro.storage.fsck`).
+STORE_RULES: dict[str, str] = {
+    "STOR-MANIFEST": (
+        "the store MANIFEST exists, parses, has a segment map, and its "
+        "format version is readable by this build"
+    ),
+    "STOR-SEGMENT": (
+        "every segment the manifest references exists, its header and "
+        "payload pass their CRC32 checks, and its length and checksum "
+        "match what the manifest recorded"
+    ),
+    "STOR-WAL": (
+        "every WAL record the commit pointer covers verifies and "
+        "decodes; bytes past the pointer (a torn tail) are recoverable "
+        "by design and not a finding"
+    ),
+    "STOR-CATALOG": (
+        "the warm-reopen catalog files (stats.json, plans.bin), when "
+        "present, are readable — open() ignores damage, fsck reports it"
+    ),
 }
 
 
@@ -212,4 +251,4 @@ SEM_RULES: dict[str, str] = {
 
 #: Every analysis rule, one namespace — the ``--select``/``--ignore``
 #: vocabulary shared by ``repro lint``, ``lint-plan`` and ``analyze``.
-RULES: dict[str, str] = {**INVARIANTS, **LINT_RULES, **SEM_RULES}
+RULES: dict[str, str] = {**INVARIANTS, **LINT_RULES, **SEM_RULES, **STORE_RULES}

@@ -351,6 +351,88 @@ def _check_spawn_state(tree: ast.AST, rel: str) -> Iterator[Finding]:
     return iter(findings)
 
 
+#: Calls that prove a function flushes to stable storage (directly or
+#: via the repro.storage.fsutil helpers, which fsync internally).
+_FSYNC_EVIDENCE = frozenset(
+    {"fsync", "fsync_fileobj", "fsync_dir", "atomic_write_bytes"}
+)
+#: Calls that prove new content is renamed into place, not written over
+#: the final path.
+_RENAME_EVIDENCE = frozenset({"replace", "rename", "atomic_write_bytes"})
+
+
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The mode string of a builtin ``open`` call, if statically known."""
+    if not (isinstance(node.func, ast.Name) and node.func.id == "open"):
+        return None
+    mode = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+def _check_stor_atomic(tree: ast.AST, rel: str) -> Iterator[Finding]:
+    """STOR-ATOMIC: crash-safe write discipline under repro/storage/.
+
+    Per function: opening a file for (over)writing (``w``/``x`` modes,
+    ``write_text``, ``write_bytes``) requires both fsync and
+    rename-into-place evidence in the same function; an
+    ``os.replace``/``os.rename`` requires fsync evidence.  Append and
+    read-modify handles (``ab``, ``r+b`` — the WAL's) are exempt: their
+    protocols fsync at the commit point, not per write.
+    """
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        write_opens: list[tuple[int, str]] = []
+        renames: list[int] = []
+        evidence_fsync = False
+        evidence_rename = False
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in _FSYNC_EVIDENCE:
+                evidence_fsync = True
+            if name in _RENAME_EVIDENCE:
+                evidence_rename = True
+            if name in ("replace", "rename") and isinstance(
+                node.func, ast.Attribute
+            ):
+                renames.append(node.lineno)
+            mode = _open_write_mode(node)
+            if mode is not None and ("w" in mode or "x" in mode):
+                write_opens.append((node.lineno, mode))
+            if name in ("write_text", "write_bytes"):
+                write_opens.append((node.lineno, name))
+        for line, what in write_opens:
+            if not (evidence_fsync and evidence_rename):
+                yield _finding(
+                    rel,
+                    line,
+                    "STOR-ATOMIC",
+                    f"file opened for writing ({what!r}) without fsync + "
+                    "rename-into-place in the same function; durable "
+                    "writes must stage a tmp sibling, fsync it, and "
+                    "os.replace it (see repro.storage.fsutil)",
+                )
+        for line in renames:
+            if not evidence_fsync:
+                yield _finding(
+                    rel,
+                    line,
+                    "STOR-ATOMIC",
+                    "os.replace/os.rename without a flush+fsync in the "
+                    "same function; renaming un-synced content commits "
+                    "a file whose bytes may not survive a crash",
+                )
+
+
 # --------------------------------------------------------------------- #
 # Cross-file rules: the errors.py ↔ protocol.py contract
 # --------------------------------------------------------------------- #
@@ -540,6 +622,8 @@ def lint_file(
         findings.extend(_check_err_raise(tree, rel, error_classes))
     if rel.endswith(SPAWN_MODULE_SUFFIXES):
         findings.extend(_check_spawn_state(tree, rel))
+    if "repro/storage/" in rel:
+        findings.extend(_check_stor_atomic(tree, rel))
     return findings
 
 

@@ -35,8 +35,14 @@ Usage (after installation, or via ``python -m repro.cli``)::
     # Store statistics
     python -m repro.cli info store.tstore
 
+    # Durable store directories: check, compact, export
+    python -m repro.cli fsck /var/lib/repro/default
+    python -m repro.cli compact /var/lib/repro/default
+    python -m repro.cli dump /var/lib/repro/default -o export.tstore
+
     # Serve a store over HTTP/WebSocket, then query it remotely
     python -m repro.cli serve store.tstore --port 8377 --backend sharded
+    python -m repro.cli serve --store-path /var/lib/repro/default --tenant eu=/var/lib/repro/eu
     python -m repro.cli connect http://127.0.0.1:8377 "star[1,2,3'; 3=1'](E)"
     python -m repro.cli connect http://127.0.0.1:8377 "E" --stream
     python -m repro.cli connect http://127.0.0.1:8377 --metrics
@@ -47,6 +53,8 @@ Store files use the :mod:`repro.triplestore.io` text format.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Sequence
 
@@ -186,8 +194,24 @@ def _cmd_datalog(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default durable-store directory for ``serve`` (``--store-path`` wins).
+STORE_PATH_ENV = "REPRO_STORE_PATH"
+
+
+def _open_store(path: str):
+    """A triplestore from a durable directory or an ``io`` text file."""
+    if os.path.isdir(path):
+        from repro.storage import DurableStore
+
+        storage = DurableStore(path)
+        store = storage.open()
+        storage.close()
+        return store
+    return load_path(path)
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
-    store = load_path(args.store)
+    store = _open_store(args.store)
     print(f"objects:   {store.n_objects}")
     print(f"triples:   {len(store)}")
     stats = store.stats()
@@ -349,9 +373,57 @@ def _cmd_lint_plan(args: argparse.Namespace) -> int:
     return worst
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.storage import fsck_store
+
+    findings = fsck_store(args.store)
+    if args.json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding)
+        status = "corrupt" if findings else "healthy"
+        print(f"# {args.store}: {status}, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.storage import DurableStore
+
+    storage = DurableStore(args.store)
+    store = storage.open()  # replays any committed WAL records
+    before = storage.wal.size if storage.wal is not None else 0
+    storage.snapshot(store, storage.rel_versions, storage.store_version)
+    storage.close()
+    print(
+        f"# {args.store}: compacted to generation {storage.generation} "
+        f"({before} WAL bytes folded)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    from repro.triplestore.io import dump, dump_path
+
+    store = _open_store(args.store)
+    if args.output:
+        dump_path(store, args.output)
+        print(f"# wrote {len(store)} triples to {args.output}", file=sys.stderr)
+    else:
+        dump(store, sys.stdout)
+    return 0
+
+
 def _serve_tenants(args: argparse.Namespace) -> dict:
     """The tenant sessions a ``serve`` invocation asks for."""
-    specs: list[tuple[str, str]] = [("default", args.store)]
+    default = args.store or args.store_path or os.environ.get(STORE_PATH_ENV)
+    if not default:
+        raise ReproError(
+            "serve needs a default store: a positional STORE argument, "
+            "--store-path, or REPRO_STORE_PATH"
+        )
+    specs: list[tuple[str, str]] = [("default", default)]
     for raw in args.tenant or ():
         name, sep, path = raw.partition("=")
         if not sep or not name or not path:
@@ -683,7 +755,20 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser(
         "serve", help="serve stores over HTTP/WebSocket (the query service)"
     )
-    s.add_argument("store", help="triplestore file for the 'default' tenant")
+    s.add_argument(
+        "store",
+        nargs="?",
+        default=None,
+        help="store for the 'default' tenant: an io text file or a "
+        "durable store directory",
+    )
+    s.add_argument(
+        "--store-path",
+        default=None,
+        metavar="DIR",
+        help="durable store directory for the 'default' tenant when no "
+        "positional store is given (default: REPRO_STORE_PATH)",
+    )
     s.add_argument(
         "--tenant",
         action="append",
@@ -731,6 +816,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="default rows per WebSocket streaming page",
     )
     s.set_defaults(func=_cmd_serve)
+
+    fk = sub.add_parser(
+        "fsck", help="integrity-check a durable store directory"
+    )
+    fk.add_argument("store", help="durable store directory")
+    fk.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON array instead of text lines",
+    )
+    fk.set_defaults(func=_cmd_fsck)
+
+    cp = sub.add_parser(
+        "compact",
+        help="fold a durable store's WAL into a fresh segment generation",
+    )
+    cp.add_argument("store", help="durable store directory")
+    cp.set_defaults(func=_cmd_compact)
+
+    dm = sub.add_parser(
+        "dump",
+        help="export any store (durable directory or text file) to the "
+        "triplestore text format",
+    )
+    dm.add_argument("store", help="store to export")
+    dm.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write to a file instead of stdout",
+    )
+    dm.set_defaults(func=_cmd_dump)
 
     c = sub.add_parser("connect", help="query a running repro serve instance")
     c.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8377")

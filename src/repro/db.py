@@ -142,6 +142,15 @@ class _LRU:
         with self._lock:
             self._data.clear()
 
+    def snapshot(self) -> list[tuple[Any, Any]]:
+        """The cached ``(key, value)`` pairs, LRU→MRU order.
+
+        Used by the durable-store catalog to persist the plan cache at
+        close time; counters are not part of the snapshot.
+        """
+        with self._lock:
+            return list(self._data.items())
+
     def info(self) -> CacheInfo:
         with self._lock:
             return CacheInfo(self.hits, self.misses, len(self._data), self.maxsize)
@@ -180,11 +189,19 @@ class MutationBatch:
         if exc_type is not None:
             return False  # discard the staged mutations, propagate
         if self._staged:
-            store = self.db.store
+            db = self.db
+            if db._storage is not None:
+                # One WAL record per batch — the unit of crash atomicity.
+                # fsync'd before the in-memory swap, so a query can never
+                # observe state the log would not reproduce.
+                db._storage.commit(self._staged)
+            store = db.store
             for name, triples in self._staged.items():
                 store = store.with_relation(name, triples)
-            self.db.store = store
-            self.db._invalidate(self._staged)
+            db.store = store
+            db._invalidate(self._staged)
+            if db._storage is not None:
+                db._storage.maybe_compact(db)
         return False
 
 
@@ -194,7 +211,14 @@ class Database:
     Parameters
     ----------
     store:
-        The triplestore to query.
+        The triplestore to query.  Mutually exclusive with ``path``.
+    path:
+        A durable store directory (:mod:`repro.storage`) to open — or
+        initialise, if empty.  The session then serves queries from the
+        mmap'd segments, every ``install``/``batch`` commits through
+        the write-ahead log before becoming visible, and :meth:`close`
+        folds the WAL into a fresh snapshot and persists the
+        statistics/plan catalog so the next open starts warm.
     engine:
         Any :class:`~repro.core.engines.base.Engine`; defaults to the
         ``backend``'s engine — a
@@ -235,9 +259,10 @@ class Database:
 
     def __init__(
         self,
-        store: Triplestore,
+        store: Triplestore | None = None,
         engine: Engine | None = None,
         *,
+        path: str | os.PathLike | None = None,
         backend: str | None = None,
         shards: int | None = None,
         executor: str | None = None,
@@ -245,6 +270,20 @@ class Database:
         optimize: bool = True,
         cache_size: int = 128,
     ) -> None:
+        # Lifecycle attributes first, so close() after a failed open (or
+        # on a partially-constructed object via __del__) is a no-op.
+        self._close_hooks: list[Callable[["Database"], None]] = []
+        self._storage = None
+        if path is not None:
+            if store is not None:
+                raise ReproError("pass either a store or path=, not both")
+            from repro.storage import DurableStore
+
+            storage = DurableStore(path)
+            store = storage.open()
+            self._storage = storage
+        elif store is None:
+            raise ReproError("Database needs a store (or a path= to open one)")
         if backend is None:
             if engine is not None:
                 backend = getattr(engine, "backend", "set")
@@ -314,15 +353,20 @@ class Database:
         #: Universe-using expressions (U spans the whole active domain)
         #: and of the auxiliary frontend cache.
         self._store_version = 0
+        if self._storage is not None:
+            # Versions are re-derived deterministically on every open
+            # (manifest + WAL replay), so persisted plan-cache keys —
+            # which embed dependency tokens — stay valid across restarts.
+            self._rel_versions.update(self._storage.rel_versions)
+            self._store_version = self._storage.store_version
         #: The active :class:`MutationBatch`, if any.
         self._batch: MutationBatch | None = None
         #: Set by :meth:`from_rdf`; used by the nSPARQL frontend.
         self.document = None
-        #: Session lifecycle hooks run by :meth:`close` (once each).
-        #: The query service registers per-session teardown here —
-        #: dropping a tenant's prepared-statement registry when its
-        #: session is closed — without the Database knowing about it.
-        self._close_hooks: list[Callable[["Database"], None]] = []
+        # (Close hooks — the service's per-session teardown seam — were
+        # initialised first, before the durable open could raise.)
+        if self._storage is not None:
+            self._storage.load_warm(self)
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -330,7 +374,17 @@ class Database:
 
     @classmethod
     def open(cls, path: str, **kwargs: Any) -> "Database":
-        """Open a store file in the :mod:`repro.triplestore.io` format."""
+        """Open a store: a durable directory or an ``io``-format text file.
+
+        A directory (existing or not-yet-existing durable store) opens
+        through :mod:`repro.storage`; anything else is read as a
+        :mod:`repro.triplestore.io` text file into a purely in-memory
+        session.
+        """
+        if os.path.isdir(path) or (
+            not os.path.exists(path) and str(path).endswith(os.sep)
+        ):
+            return cls(path=path, **kwargs)
         from repro.triplestore.io import load_path
 
         return cls(load_path(path), **kwargs)
@@ -597,21 +651,36 @@ class Database:
     def close(self) -> None:
         """Release session resources (idempotent).
 
-        Runs registered close hooks first (each at most once), then
-        unlinks any shared-memory segments the process shard executor
-        published for this session's store — worker pools are told to
-        drop their mappings first.  The session object stays usable for
-        queries afterwards (segments are republished on demand); close
-        exists so repeated build-query-drop cycles never accumulate
-        ``/dev/shm`` entries until interpreter exit.
+        Runs registered close hooks first (each at most once); on a
+        durable session (``path=``) it then folds any outstanding WAL
+        records into a fresh snapshot and persists the statistics/plan
+        catalog, so the next open serves straight from mmap'd segments
+        with warm caches.  Finally it unlinks any shared-memory segments
+        the process shard executor published for this session's store —
+        worker pools are told to drop their mappings first.  The session
+        object stays usable afterwards (shm segments are republished on
+        demand, and durable commits reopen their log handle); calling
+        close again — or on a session whose open failed partway — is a
+        no-op.
         """
-        hooks, self._close_hooks = self._close_hooks, []
+        hooks = getattr(self, "_close_hooks", None) or []
+        self._close_hooks = []
         for hook in hooks:
             try:
                 hook(self)
             except Exception:
                 pass
-        for ss in getattr(self.store, "_sharded", {}).values():
+        storage = getattr(self, "_storage", None)
+        if storage is not None:
+            try:
+                storage.flush(self)
+            except Exception:
+                # Close is teardown, not a failure path: a store that
+                # cannot flush its catalog still closes (the WAL already
+                # holds every committed batch).
+                pass
+            storage.close()
+        for ss in getattr(getattr(self, "store", None), "_sharded", {}).values():
             handle = getattr(ss, "_shm", None)
             if handle is not None:
                 handle.close()
@@ -650,8 +719,13 @@ class Database:
         if self._batch is not None:
             self._batch.stage(name, triples)
             return
+        if self._storage is not None:
+            triples = frozenset(triples)  # logged and applied: freeze once
+            self._storage.commit({name: triples})
         self.store = self.store.with_relation(name, triples)
         self._invalidate((name,))
+        if self._storage is not None:
+            self._storage.maybe_compact(self)
 
     def batch(self) -> MutationBatch:
         """A transactional mutation batch::

@@ -150,6 +150,36 @@ class EvaluationBudgetError(ReproError):
     """
 
 
+class StorageError(ReproError):
+    """Problems with the durable storage layer (:mod:`repro.storage`).
+
+    The family base: anything that goes wrong while opening, writing,
+    snapshotting or recovering an on-disk store directory and is not
+    better described as corruption.
+    """
+
+
+class StoreCorruptionError(StorageError):
+    """A durable store directory failed an integrity check.
+
+    Raised when opening a store whose committed state cannot be trusted:
+    a segment or WAL record inside the committed region fails its CRC,
+    the manifest is unreadable, or a referenced segment file is missing.
+    ``findings`` carries the structured
+    :class:`repro.analysis.invariants.Finding` records (``STOR-*``
+    rules) so ``repro fsck`` and recovery report identically.  A *torn
+    WAL tail* — bytes past the committed pointer — is not corruption:
+    recovery truncates it and this error is never raised for it.
+    """
+
+    def __init__(self, message: str, findings: tuple = ()):
+        self.findings = tuple(findings)
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (StoreCorruptionError, (self.args[0], self.findings))
+
+
 class ShardWorkerError(ReproError):
     """The process-parallel shard executor lost its workers.
 

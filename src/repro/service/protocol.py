@@ -43,6 +43,8 @@ from repro.errors import (
     ReproError,
     ServiceError,
     ShardWorkerError,
+    StorageError,
+    StoreCorruptionError,
     StratificationError,
     TranslationError,
     TriplestoreError,
@@ -168,6 +170,10 @@ _STATUS_MAP: tuple[tuple[type, int], ...] = (
     (GraphError, 400),
     (TranslationError, 400),
     (TriplestoreError, 400),
+    # Durable-storage failures are the server's disk, not the client's
+    # request: corruption and I/O problems both answer 500.
+    (StoreCorruptionError, 500),
+    (StorageError, 500),
     (EvaluationBudgetError, 400),
     (ServiceError, 400),
     (ReproError, 400),

@@ -1,0 +1,20 @@
+"""Durable storage: on-disk segments, WAL transactions, snapshots.
+
+The persistence layer behind ``Database(path=...)`` and the
+``repro fsck`` / ``repro compact`` / ``repro serve --store-path``
+surfaces.  A store directory holds mmap-able columnar segments
+(:mod:`repro.storage.segments`), a write-ahead log making
+``install``/``batch`` crash-recoverable (:mod:`repro.storage.wal`),
+snapshot/compaction machinery (:mod:`repro.storage.snapshot`), a
+warm-reopen catalog of statistics and compiled plans
+(:mod:`repro.storage.catalog`), and an offline checker
+(:mod:`repro.storage.fsck`).  :class:`DurableStore`
+(:mod:`repro.storage.manager`) coordinates the lifecycle.
+"""
+
+from repro.storage.fsck import fsck_store
+from repro.storage.manager import DurableStore
+from repro.storage.segments import SegmentStore
+from repro.storage.wal import WriteAheadLog
+
+__all__ = ["DurableStore", "SegmentStore", "WriteAheadLog", "fsck_store"]

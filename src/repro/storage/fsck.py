@@ -1,0 +1,179 @@
+"""Offline integrity checking of a store directory (``repro fsck``).
+
+Walks everything the manifest references and reports structured
+:class:`~repro.analysis.invariants.Finding` records under the
+``STOR-*`` rules — the same record type the lint and plan-verifier
+families use, so reports render and filter identically everywhere.
+
+Unlike opening (which skips payload CRCs to stay zero-copy), fsck reads
+every referenced byte: manifest shape, per-segment header *and* payload
+checksums against both the file header and the manifest's recorded CRC,
+WAL record checksums against the commit pointer, and catalog
+readability.  A torn WAL tail is *healthy* (recovery truncates it by
+design) and is not reported as a finding.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import zlib
+from typing import Iterator
+
+from repro.analysis.invariants import Finding
+from repro.storage import catalog as _catalog
+from repro.storage.manager import MANIFEST_NAME, WAL_DIR
+from repro.storage.segments import read_segment
+from repro.storage.snapshot import MANIFEST_FORMAT
+from repro.storage.wal import WriteAheadLog, scan_records
+from repro.errors import StoreCorruptionError
+
+__all__ = ["fsck_store"]
+
+
+def _segment_entries(segments: dict) -> Iterator[dict]:
+    for key in ("meta", "dv_codes", "active"):
+        entry = segments.get(key)
+        if isinstance(entry, dict):
+            yield entry
+    for entry in segments.get("relations", ()):
+        if isinstance(entry, dict):
+            yield entry
+
+
+def _check_manifest(root: str) -> tuple[dict | None, list[Finding]]:
+    path = os.path.join(root, MANIFEST_NAME)
+    if not os.path.exists(path):
+        return None, [
+            Finding(
+                "STOR-MANIFEST",
+                "no MANIFEST file — not an initialised store directory",
+                path=path,
+            )
+        ]
+    try:
+        with open(path, "rb") as fp:
+            manifest = json.loads(fp.read())
+    except (OSError, ValueError) as exc:
+        return None, [
+            Finding("STOR-MANIFEST", f"manifest is unreadable: {exc}", path=path)
+        ]
+    problems = []
+    if not isinstance(manifest, dict) or "segments" not in manifest:
+        problems.append(
+            Finding("STOR-MANIFEST", "manifest has no segment map", path=path)
+        )
+        return None, problems
+    if manifest.get("format", 0) > MANIFEST_FORMAT:
+        problems.append(
+            Finding(
+                "STOR-MANIFEST",
+                f"manifest format v{manifest.get('format')} is newer than "
+                f"this build (reads up to v{MANIFEST_FORMAT})",
+                path=path,
+            )
+        )
+        return None, problems
+    return manifest, problems
+
+
+def _check_segments(root: str, manifest: dict) -> Iterator[Finding]:
+    gen_dir = os.path.join(root, *str(manifest.get("gen_dir", "")).split("/"))
+    if not os.path.isdir(gen_dir):
+        yield Finding(
+            "STOR-SEGMENT",
+            f"generation directory {manifest.get('gen_dir')!r} is missing",
+            path=gen_dir,
+        )
+        return
+    for entry in _segment_entries(manifest["segments"]):
+        path = os.path.join(gen_dir, entry.get("file", "?"))
+        if not os.path.exists(path):
+            yield Finding("STOR-SEGMENT", "referenced segment is missing", path=path)
+            continue
+        try:
+            payload = read_segment(path, verify=True)
+        except StoreCorruptionError as exc:
+            yield Finding("STOR-SEGMENT", str(exc), path=path)
+            continue
+        except OSError as exc:  # pragma: no cover — permissions etc.
+            yield Finding("STOR-SEGMENT", f"segment is unreadable: {exc}", path=path)
+            continue
+        if zlib.crc32(payload) != entry.get("crc"):
+            yield Finding(
+                "STOR-SEGMENT",
+                "segment payload does not match the CRC recorded in the "
+                "manifest",
+                path=path,
+            )
+        count = entry.get("count")
+        if count is not None and len(payload) != 8 * count:
+            yield Finding(
+                "STOR-SEGMENT",
+                f"segment holds {len(payload) // 8} items, manifest says "
+                f"{count}",
+                path=path,
+            )
+
+
+def _check_wal(root: str, manifest: dict) -> Iterator[Finding]:
+    wal_dir = os.path.join(root, WAL_DIR)
+    log_path = os.path.join(wal_dir, WriteAheadLog.LOG)
+    commit_path = os.path.join(wal_dir, WriteAheadLog.COMMIT)
+    committed, _pointer_seq = 0, 0
+    if os.path.exists(commit_path):
+        try:
+            with open(commit_path, "rb") as fp:
+                doc = json.loads(fp.read())
+            committed = int(doc["offset"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            yield Finding(
+                "STOR-WAL", f"commit pointer is unreadable: {exc}", path=commit_path
+            )
+            return
+    try:
+        with open(log_path, "rb") as fp:
+            raw = fp.read()
+    except FileNotFoundError:
+        raw = b""
+    except OSError as exc:  # pragma: no cover — permissions etc.
+        yield Finding("STOR-WAL", f"log is unreadable: {exc}", path=log_path)
+        return
+    records, valid_end = scan_records(raw)
+    if valid_end < committed:
+        yield Finding(
+            "STOR-WAL",
+            f"commit pointer covers {committed} bytes but only {valid_end} "
+            "verify — committed records are corrupt",
+            path=log_path,
+        )
+        return
+    min_seq = int(manifest.get("wal_seq", 0))
+    for seq, payload in records:
+        if seq <= min_seq:
+            continue
+        try:
+            record = pickle.loads(payload)
+            record["relations"]
+        except Exception as exc:
+            yield Finding(
+                "STOR-WAL",
+                f"record seq={seq} fails to decode: {exc}",
+                path=log_path,
+            )
+
+
+def fsck_store(root: str | os.PathLike) -> list[Finding]:
+    """Full integrity check; an empty list means the store is healthy."""
+    root = os.fspath(root)
+    manifest, findings = _check_manifest(root)
+    if manifest is None:
+        return findings
+    findings.extend(_check_segments(root, manifest))
+    findings.extend(_check_wal(root, manifest))
+    findings.extend(
+        Finding("STOR-CATALOG", problem, path=os.path.join(root, _catalog.CATALOG_DIR))
+        for problem in _catalog.verify_catalog(root)
+    )
+    return findings

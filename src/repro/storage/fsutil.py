@@ -1,0 +1,81 @@
+"""Filesystem primitives for the durable storage layer.
+
+Everything in :mod:`repro.storage` that must survive a crash goes
+through the two disciplines encoded here (and enforced by the
+``STOR-ATOMIC`` lint rule):
+
+* *no in-place durable writes* — new content is written to a ``.tmp``
+  sibling, flushed, ``fsync``'d, and only then renamed over the final
+  path, so a reader never observes a half-written file;
+* *rename is not durable by itself* — after ``os.replace`` the
+  containing directory is ``fsync``'d too, so the new directory entry
+  survives power loss.
+
+``REPRO_STORAGE_SYNC=0`` turns every ``fsync`` into a no-op.  That
+trades crash-durability for speed (useful for throwaway test stores on
+tmpfs); the write-ordering protocol — tmp file, rename, single-record
+WAL commits — is unchanged, so *process* crashes (as opposed to kernel
+crashes) still recover exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+__all__ = [
+    "SYNC_ENV",
+    "atomic_write_bytes",
+    "fsync_dir",
+    "fsync_enabled",
+    "fsync_fileobj",
+    "tmp_sibling",
+]
+
+#: Environment switch: set to ``0`` to skip fsync calls (unsafe-fast mode).
+SYNC_ENV = "REPRO_STORAGE_SYNC"
+
+PathLike = Union[str, os.PathLike]
+
+
+def fsync_enabled() -> bool:
+    """Whether fsync calls are live (default) or elided (``REPRO_STORAGE_SYNC=0``)."""
+    return os.environ.get(SYNC_ENV, "1") != "0"
+
+
+def fsync_fileobj(fileobj) -> None:
+    """Flush a buffered file object and fsync its descriptor."""
+    fileobj.flush()
+    if fsync_enabled():
+        os.fsync(fileobj.fileno())
+
+
+def fsync_dir(path: PathLike) -> None:
+    """Fsync a directory so renames/creations inside it are durable."""
+    if not fsync_enabled():
+        return
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def tmp_sibling(path: PathLike) -> str:
+    """The ``.tmp`` staging name next to ``path`` (same filesystem, so
+    the final ``os.replace`` is atomic)."""
+    return os.fspath(path) + ".tmp"
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Durably replace ``path`` with ``data``: tmp file, flush, fsync,
+    rename into place, fsync the directory."""
+    path = os.fspath(path)
+    tmp = tmp_sibling(path)
+    with open(tmp, "wb") as fp:
+        fp.write(data)
+        fp.flush()
+        if fsync_enabled():
+            os.fsync(fp.fileno())
+    os.replace(tmp, path)
+    fsync_dir(os.path.dirname(path) or ".")

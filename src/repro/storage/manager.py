@@ -1,0 +1,217 @@
+"""The durable-store coordinator behind ``Database(path=...)``.
+
+A store directory is::
+
+    <root>/
+      MANIFEST                 # JSON: current generation + fold state
+      segments/gen-NNNNNN/     # segment files (repro.storage.segments)
+      wal/wal.log, wal/COMMIT  # mutations since the manifest's snapshot
+      catalog/                 # warm-reopen caches (repro.storage.catalog)
+
+:class:`DurableStore` owns the open/recover/commit/snapshot lifecycle;
+:class:`repro.db.Database` drives it:
+
+* **open** — read the manifest, map the segments into a lazy
+  :class:`~repro.storage.segments.SegmentStore`, recover the WAL and
+  replay committed records on top.  Relation dependency versions are
+  re-derived deterministically (manifest versions + one bump per
+  replayed record), which is what keeps persisted plan-cache keys valid
+  across restarts.  A directory without a manifest is initialised as an
+  empty generation-1 store.
+* **commit** — append one batch to the WAL (fsync before the commit
+  pointer moves); the caller swaps its in-memory store only after this
+  returns.
+* **snapshot** — fold everything into a fresh generation
+  (:mod:`repro.storage.snapshot`), then reset the WAL and sweep old
+  generations.  Triggered explicitly (``repro compact``), by the WAL
+  size crossing ``REPRO_STORAGE_WAL_LIMIT`` bytes after a commit, and
+  on clean close, so a cleanly-closed store always reopens straight
+  from mmap'd segments with no replay.
+
+No cross-process locking is attempted: one writer per store directory
+at a time is the contract (tenants each get their own directory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.errors import StoreCorruptionError
+from repro.storage import catalog as _catalog
+from repro.storage.segments import open_store_segments
+from repro.storage.snapshot import MANIFEST_FORMAT, sweep_generations, write_snapshot
+from repro.storage.wal import WriteAheadLog
+from repro.triplestore.model import Triple, Triplestore
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, typing only
+    from repro.db import Database
+
+__all__ = ["DurableStore", "WAL_LIMIT_ENV"]
+
+#: WAL size (bytes) past which a commit triggers auto-compaction.
+WAL_LIMIT_ENV = "REPRO_STORAGE_WAL_LIMIT"
+_DEFAULT_WAL_LIMIT = 16 * 1024 * 1024
+
+MANIFEST_NAME = "MANIFEST"
+WAL_DIR = "wal"
+
+
+class DurableStore:
+    """One on-disk store directory: segments + WAL + catalog."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = os.fspath(root)
+        self.manifest: dict | None = None
+        self.generation = 0
+        self.wal: WriteAheadLog | None = None
+        #: Set by :meth:`open`: the recovered store and its dependency
+        #: versions (the Database seeds its own from these).
+        self.store: Triplestore | None = None
+        self.rel_versions: dict[str, int] = {}
+        self.store_version = 0
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def _wal_limit(self) -> int:
+        try:
+            return int(os.environ.get(WAL_LIMIT_ENV, _DEFAULT_WAL_LIMIT))
+        except ValueError:
+            return _DEFAULT_WAL_LIMIT
+
+    # ------------------------------------------------------------------ #
+    # Open / recover
+    # ------------------------------------------------------------------ #
+
+    def _read_manifest(self) -> dict:
+        try:
+            with open(self.manifest_path, "rb") as fp:
+                manifest = json.loads(fp.read())
+        except ValueError as exc:
+            raise StoreCorruptionError(
+                f"store manifest {self.manifest_path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or "segments" not in manifest:
+            raise StoreCorruptionError(
+                f"store manifest {self.manifest_path} has no segment map"
+            )
+        if manifest.get("format", 0) > MANIFEST_FORMAT:
+            raise StoreCorruptionError(
+                f"store {self.root} is manifest format "
+                f"v{manifest.get('format')}; this build reads up to "
+                f"v{MANIFEST_FORMAT}"
+            )
+        return manifest
+
+    def open(self) -> Triplestore:
+        """Open (or initialise) the directory; returns the current store.
+
+        Raises :class:`StoreCorruptionError` when the committed state on
+        disk cannot be trusted; a torn WAL tail is repaired silently.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        if os.path.exists(self.manifest_path):
+            manifest = self._read_manifest()
+            gen_dir = os.path.join(self.root, *manifest["gen_dir"].split("/"))
+            try:
+                store: Triplestore = open_store_segments(gen_dir, manifest["segments"])
+            except FileNotFoundError as exc:
+                raise StoreCorruptionError(
+                    f"store {self.root} references a missing segment: {exc}"
+                ) from exc
+            self.manifest = manifest
+            self.generation = int(manifest.get("generation", 0))
+            self.rel_versions = {
+                str(k): int(v) for k, v in manifest.get("rel_versions", {}).items()
+            }
+            self.store_version = int(manifest.get("store_version", 0))
+            wal_seq = int(manifest.get("wal_seq", 0))
+        else:
+            # Fresh directory: lay down an empty generation-1 snapshot so
+            # the store is fsck-able and reopenable from the first moment.
+            store = Triplestore()
+            self.generation = 1
+            self.rel_versions = {}
+            self.store_version = 0
+            wal_seq = 0
+            self.manifest = write_snapshot(
+                self.root,
+                store,
+                generation=1,
+                rel_versions={},
+                store_version=0,
+                wal_seq=0,
+            )
+        self.wal = WriteAheadLog(os.path.join(self.root, WAL_DIR))
+        for _seq, record in self.wal.recover(min_seq=wal_seq):
+            relations = record.get("relations", {})
+            for name, triples in relations.items():
+                store = store.with_relation(name, triples)
+                self.rel_versions[name] = self.rel_versions.get(name, 0) + 1
+            self.store_version += 1
+        self.store = store
+        return store
+
+    # ------------------------------------------------------------------ #
+    # Commit / compaction
+    # ------------------------------------------------------------------ #
+
+    def commit(self, mutations: Mapping[str, Iterable[Triple]]) -> int:
+        """Durably log one mutation batch; returns its WAL sequence."""
+        assert self.wal is not None, "store is not open"
+        return self.wal.append(mutations)
+
+    def snapshot(
+        self,
+        store: Triplestore,
+        rel_versions: Mapping[str, int],
+        store_version: int,
+    ) -> None:
+        """Fold the WAL into a fresh segment generation (compaction)."""
+        assert self.wal is not None, "store is not open"
+        generation = self.generation + 1
+        wal_seq = self.wal.next_seq - 1
+        self.manifest = write_snapshot(
+            self.root,
+            store,
+            generation=generation,
+            rel_versions=rel_versions,
+            store_version=store_version,
+            wal_seq=wal_seq,
+        )
+        self.generation = generation
+        # The manifest referencing the new generation is durable; now the
+        # WAL records it folded — and the old generations — can go.
+        self.wal.reset(wal_seq)
+        sweep_generations(self.root, generation)
+
+    def maybe_compact(self, db: "Database") -> bool:
+        """Auto-compact when the WAL outgrows its limit; True if it did."""
+        if self.wal is not None and self.wal.size > self._wal_limit():
+            self.snapshot(db.store, db._rel_versions, db._store_version)
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Warm caches / close
+    # ------------------------------------------------------------------ #
+
+    def load_warm(self, db: "Database") -> tuple[int, int]:
+        """Seed stats and plan cache from the catalog; (stats, plans) counts."""
+        return (
+            _catalog.load_stats(self.root, db),
+            _catalog.load_plans(self.root, db),
+        )
+
+    def flush(self, db: "Database") -> None:
+        """Clean-close housekeeping: fold the WAL, persist the catalog."""
+        if self.wal is not None and self.wal.size > 0:
+            self.snapshot(db.store, db._rel_versions, db._store_version)
+        _catalog.save_catalog(self.root, db)
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()

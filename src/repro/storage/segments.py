@@ -1,0 +1,423 @@
+"""On-disk columnar segments: the durable form of a triplestore.
+
+One *generation* directory holds the dictionary-encoded columnar view
+of a store (:mod:`repro.triplestore.columnar`) as flat segment files:
+
+* ``meta.seg`` — pickled dictionaries: the sorted object universe, the
+  distinct data values, the full ρ assignment, and the packing geometry;
+* ``dv_codes.seg`` / ``active.seg`` — the ρ-code array and the active
+  (occurs-in-some-triple) code set, raw little-endian ``int64``;
+* ``rel-NNN.seg`` — one file per relation: its sorted unique packed-key
+  array, raw ``int64``.
+
+Every file starts with a fixed 32-byte header — magic, format version,
+payload kind, payload length, payload CRC32, and a CRC32 of the header
+itself — and the payload begins at byte 32, so ``int64`` arrays are
+8-byte aligned and a reader can hand the mapped pages straight to numpy
+(``np.frombuffer`` over ``mmap``) without copying: the same zero-copy
+discipline as the shared-memory manifests in
+:mod:`repro.triplestore.shm`, with files in place of ``/dev/shm``
+segments.
+
+Opening is *lazy on two levels*: the columnar arrays alias the mapped
+pages (nothing is read until a kernel touches them), and the
+:class:`SegmentStore` facade decodes a relation's Python-object
+``frozenset`` only when a set-backend consumer actually asks for it —
+the columnar/sharded backends never do.  Payload CRCs are verified by
+``repro fsck`` and at snapshot time, not on every open (checking would
+fault in every page and defeat the zero-copy open); headers are always
+validated.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import pickle
+import struct
+import zlib
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import StoreCorruptionError, UnknownRelationError
+from repro.storage.fsutil import fsync_dir, fsync_enabled, tmp_sibling
+from repro.triplestore.columnar import ColumnarStore
+from repro.triplestore.model import DEFAULT_RELATION, Obj, Triple, Triplestore
+
+__all__ = [
+    "FORMAT_VERSION",
+    "KIND_INT64",
+    "KIND_PICKLE",
+    "SegmentStore",
+    "map_segment",
+    "open_store_segments",
+    "read_segment",
+    "verify_segment",
+    "write_segment",
+    "write_store_segments",
+]
+
+#: First 8 bytes of every segment file.
+MAGIC = b"RPROSEG1"
+#: Bumped on any incompatible layout change; readers refuse newer files.
+FORMAT_VERSION = 1
+
+#: Payload kinds.
+KIND_INT64 = 1
+KIND_PICKLE = 2
+
+#: magic, version, kind, reserved, payload byte length, payload CRC32,
+#: header CRC32 (of the preceding 28 bytes) — 32 bytes, 8-aligned.
+_HEADER = struct.Struct("<8sHHIQII")
+HEADER_SIZE = _HEADER.size
+assert HEADER_SIZE == 32
+
+
+def _pack_header(kind: int, payload_len: int, payload_crc: int) -> bytes:
+    head = _HEADER.pack(MAGIC, FORMAT_VERSION, kind, 0, payload_len, payload_crc, 0)
+    return head[:-4] + struct.pack("<I", zlib.crc32(head[:-4]))
+
+
+def write_segment(path: str | os.PathLike, kind: int, payload: bytes) -> int:
+    """Durably write one segment file; returns the payload CRC32.
+
+    The file is staged as a ``.tmp`` sibling, flushed and fsync'd, then
+    renamed into place — a crash mid-write leaves at most a ``.tmp``
+    straggler, never a half-written segment under the final name.
+    """
+    crc = zlib.crc32(payload)
+    path = os.fspath(path)
+    tmp = tmp_sibling(path)
+    with open(tmp, "wb") as fp:
+        fp.write(_pack_header(kind, len(payload), crc))
+        fp.write(payload)
+        fp.flush()
+        if fsync_enabled():
+            os.fsync(fp.fileno())
+    os.replace(tmp, path)
+    return crc
+
+
+def _read_header(path: str, raw: bytes) -> tuple[int, int, int]:
+    """Validate a segment header; returns (kind, payload_len, payload_crc)."""
+    if len(raw) < HEADER_SIZE:
+        raise StoreCorruptionError(f"segment {path} is shorter than its header")
+    magic, version, kind, _reserved, length, crc, header_crc = _HEADER.unpack(
+        raw[:HEADER_SIZE]
+    )
+    if magic != MAGIC:
+        raise StoreCorruptionError(f"segment {path} has bad magic {magic!r}")
+    if header_crc != zlib.crc32(raw[: HEADER_SIZE - 4]):
+        raise StoreCorruptionError(f"segment {path} has a corrupt header (CRC)")
+    if version > FORMAT_VERSION:
+        raise StoreCorruptionError(
+            f"segment {path} is format v{version}; this build reads up to "
+            f"v{FORMAT_VERSION}"
+        )
+    return kind, length, crc
+
+
+def read_segment(
+    path: str | os.PathLike, *, expect_kind: int | None = None, verify: bool = True
+) -> bytes:
+    """Read one segment's payload into memory (pickle segments, fsck)."""
+    path = os.fspath(path)
+    with open(path, "rb") as fp:
+        raw = fp.read()
+    kind, length, crc = _read_header(path, raw)
+    if expect_kind is not None and kind != expect_kind:
+        raise StoreCorruptionError(
+            f"segment {path} has kind {kind}, expected {expect_kind}"
+        )
+    payload = raw[HEADER_SIZE : HEADER_SIZE + length]
+    if len(payload) != length:
+        raise StoreCorruptionError(
+            f"segment {path} is truncated: header promises {length} payload "
+            f"bytes, file has {len(payload)}"
+        )
+    if verify and zlib.crc32(payload) != crc:
+        raise StoreCorruptionError(f"segment {path} payload fails its CRC32")
+    return payload
+
+
+def map_segment(path: str | os.PathLike) -> tuple[np.ndarray, mmap.mmap]:
+    """Map an ``int64`` segment: a zero-copy numpy view over the file pages.
+
+    The header is validated eagerly (cheap — one page); the payload CRC
+    is *not* checked here, so no data page is faulted in until a kernel
+    touches it.  The returned mmap must outlive the array view.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as fp:
+        mapped = mmap.mmap(fp.fileno(), 0, access=mmap.ACCESS_READ)
+    kind, length, _crc = _read_header(path, mapped[:HEADER_SIZE])
+    if kind != KIND_INT64:
+        mapped.close()
+        raise StoreCorruptionError(f"segment {path} has kind {kind}, not int64")
+    if HEADER_SIZE + length > len(mapped) or length % 8:
+        have = len(mapped) - HEADER_SIZE
+        mapped.close()
+        raise StoreCorruptionError(
+            f"segment {path} is truncated: header promises {length} payload "
+            f"bytes, file has {have}"
+        )
+    arr = np.frombuffer(mapped, dtype=np.int64, count=length // 8, offset=HEADER_SIZE)
+    return arr, mapped
+
+
+def verify_segment(path: str | os.PathLike) -> list[str]:
+    """Full integrity check of one segment file; returns problem strings."""
+    try:
+        read_segment(path, verify=True)
+    except StoreCorruptionError as exc:
+        return [str(exc)]
+    except OSError as exc:
+        return [f"segment {os.fspath(path)} is unreadable: {exc}"]
+    return []
+
+
+# --------------------------------------------------------------------- #
+# Whole-store write
+# --------------------------------------------------------------------- #
+
+
+def write_store_segments(store: Triplestore, gen_dir: str | os.PathLike) -> dict:
+    """Write ``store``'s columnar view into ``gen_dir`` as segment files.
+
+    Returns the ``segments`` manifest block: per-file name, kind, item
+    count and CRC32.  Every file is written atomically and the
+    directory is fsync'd, so after this returns the generation is fully
+    on disk (the manifest pointing at it is the caller's commit point).
+    """
+    gen_dir = os.fspath(gen_dir)
+    os.makedirs(gen_dir, exist_ok=True)
+    cs = store.columnar()
+    meta_payload = pickle.dumps(
+        {
+            "objects": list(cs.objects),
+            "dv_values": list(cs.dv_values),
+            "rho": store.rho_map(),
+            "n": cs.n,
+            "radix": cs.radix,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    block: dict[str, Any] = {
+        "meta": {
+            "file": "meta.seg",
+            "kind": KIND_PICKLE,
+            "bytes": len(meta_payload),
+            "crc": write_segment(os.path.join(gen_dir, "meta.seg"), KIND_PICKLE, meta_payload),
+        }
+    }
+    for key, arr in (("dv_codes", cs.dv_codes), ("active", cs.active_codes())):
+        payload = np.ascontiguousarray(arr, dtype=np.int64).tobytes()
+        block[key] = {
+            "file": f"{key}.seg",
+            "kind": KIND_INT64,
+            "count": len(arr),
+            "crc": write_segment(os.path.join(gen_dir, f"{key}.seg"), KIND_INT64, payload),
+        }
+    relations = []
+    for idx, name in enumerate(store.relation_names):
+        keys = cs.relation_keys(name)
+        payload = np.ascontiguousarray(keys, dtype=np.int64).tobytes()
+        fname = f"rel-{idx:03d}.seg"
+        relations.append(
+            {
+                "name": name,
+                "file": fname,
+                "kind": KIND_INT64,
+                "count": len(keys),
+                "crc": write_segment(os.path.join(gen_dir, fname), KIND_INT64, payload),
+            }
+        )
+    block["relations"] = relations
+    fsync_dir(gen_dir)
+    return block
+
+
+# --------------------------------------------------------------------- #
+# Whole-store open: mapped columnar view + lazy Triplestore facade
+# --------------------------------------------------------------------- #
+
+
+class _MappedColumnarStore(ColumnarStore):
+    """A :class:`ColumnarStore` whose arrays alias mmap'd segment files.
+
+    Built by :func:`open_store_segments` via slot filling — the parent
+    ``__init__`` (which encodes from a :class:`Triplestore`) never
+    runs.  Holds the mmaps so the views stay valid; :meth:`release`
+    drops them best-effort (live exported views block a real unmap).
+    """
+
+    __slots__ = ("_maps",)
+
+    def release(self) -> None:
+        maps, self._maps = self._maps, []
+        for mapped in maps:
+            try:
+                mapped.close()
+            except BufferError:  # pragma: no cover — views still exported
+                pass
+
+
+class SegmentStore(Triplestore):
+    """A :class:`Triplestore` served from mmap'd segments, decoded lazily.
+
+    The columnar/sharded backends run directly on the mapped arrays
+    (``columnar()`` returns the :class:`_MappedColumnarStore`); the
+    Python-``frozenset`` form of a relation is decoded only when a
+    set-backend consumer asks for it, and cached.  Mutation helpers
+    (``with_relation`` …) materialise everything first and return plain
+    in-memory stores — durability of mutations is the WAL's job
+    (:mod:`repro.storage.wal`), not this view's.
+    """
+
+    __slots__ = ("_order",)
+
+    # -- lazy decode ---------------------------------------------------- #
+
+    def _decoded(self, name: str) -> frozenset:
+        rel = self._relations.get(name)
+        if rel is None:
+            if name not in self._relations:
+                raise UnknownRelationError(name, self._order)
+            cs = self._columnar
+            rel = cs.decode_triples(cs.relation_keys(name))
+            self._relations[name] = rel
+        return rel
+
+    def materialize(self) -> "SegmentStore":
+        """Decode every relation into its ``frozenset`` form (idempotent)."""
+        for name in self._order:
+            self._decoded(name)
+        return self
+
+    # -- Triplestore surface, decode-free where possible ----------------- #
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return self._order
+
+    def relation(self, name: str = DEFAULT_RELATION) -> frozenset[Triple]:
+        return self._decoded(name)
+
+    def all_triples(self) -> frozenset[Triple]:
+        self.materialize()
+        return super().all_triples()
+
+    def __contains__(self, triple: Triple) -> bool:
+        try:
+            key = self._columnar.encode_triple_key(tuple(triple))
+        except (TypeError, ValueError):
+            return False
+        if key < 0:
+            return False
+        cs = self._columnar
+        for name in self._order:
+            keys = cs.relation_keys(name)
+            i = int(np.searchsorted(keys, key))
+            if i < len(keys) and keys[i] == key:
+                return True
+        return False
+
+    def __iter__(self):
+        self.materialize()
+        return super().__iter__()
+
+    def __len__(self) -> int:
+        cs = self._columnar
+        return sum(len(cs.relation_keys(name)) for name in self._order)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SegmentStore):
+            other.materialize()
+        self.materialize()
+        return super().__eq__(other)
+
+    def __hash__(self) -> int:
+        self.materialize()
+        return super().__hash__()
+
+    def with_relation(self, name: str, triples: Iterable[Triple]) -> Triplestore:
+        self.materialize()
+        return super().with_relation(name, triples)
+
+    def with_rho(self, rho: Mapping[Obj, Any]) -> Triplestore:
+        self.materialize()
+        return super().with_rho(rho)
+
+    def release(self) -> None:
+        """Drop the segment mappings (safe once nothing executes on them)."""
+        cs = self._columnar
+        if isinstance(cs, _MappedColumnarStore):
+            cs.release()
+
+    def __repr__(self) -> str:
+        cs = self._columnar
+        rels = ", ".join(f"{n}:{len(cs.relation_keys(n))}" for n in self._order)
+        return f"SegmentStore(|O|={len(self._objects)}, {rels})"
+
+
+def open_store_segments(gen_dir: str | os.PathLike, block: Mapping[str, Any]) -> SegmentStore:
+    """Open one generation directory into a :class:`SegmentStore`.
+
+    ``block`` is the manifest's ``segments`` entry written by
+    :func:`write_store_segments`.  Array segments are mmap'd zero-copy;
+    only the (typically small) pickled dictionaries are read eagerly.
+    """
+    gen_dir = os.fspath(gen_dir)
+
+    def seg_path(entry: Mapping[str, Any]) -> str:
+        return os.path.join(gen_dir, entry["file"])
+
+    meta = pickle.loads(read_segment(seg_path(block["meta"]), expect_kind=KIND_PICKLE))
+    objects = meta["objects"]
+    dv_values = meta["dv_values"]
+
+    maps: list[mmap.mmap] = []
+
+    def mapped(entry: Mapping[str, Any]) -> np.ndarray:
+        arr, mm = map_segment(seg_path(entry))
+        if len(arr) != entry["count"]:
+            mm.close()
+            raise StoreCorruptionError(
+                f"segment {seg_path(entry)} holds {len(arr)} items, manifest "
+                f"says {entry['count']}"
+            )
+        maps.append(mm)
+        return arr
+
+    cs = object.__new__(_MappedColumnarStore)
+    cs.objects = objects
+    cs.n = meta["n"]
+    cs.radix = meta["radix"]
+    cs._code_of = {o: i for i, o in enumerate(objects)}
+    obj_array = np.empty(len(objects), dtype=object)
+    obj_array[:] = objects
+    cs._obj_array = obj_array
+    cs.dv_values = dv_values
+    cs._dv_code_of = {v: i for i, v in enumerate(dv_values)}
+    cs.dv_codes = mapped(block["dv_codes"])
+    cs._relations = {e["name"]: mapped(e) for e in block["relations"]}
+    cs._columns = {}
+    cs._active = mapped(block["active"])
+    cs._maps = maps
+    if cs.n != len(objects):  # pragma: no cover — manifest/meta disagree
+        raise StoreCorruptionError(
+            f"meta segment in {gen_dir} names {len(objects)} objects but "
+            f"records n={cs.n}"
+        )
+
+    store = object.__new__(SegmentStore)
+    store._order = tuple(e["name"] for e in block["relations"])
+    store._relations = {name: None for name in store._order}
+    store._rho = dict(meta["rho"])
+    store._objects = frozenset(objects)
+    store._indexes = {}
+    store._stats = None
+    store._columnar = cs
+    store._sharded = {}
+    return store

@@ -1,0 +1,273 @@
+"""Write-ahead log: the durability of ``install`` / ``batch`` mutations.
+
+Between snapshots, every committed mutation batch lives here as *one*
+log record — the unit of atomicity.  A record is::
+
+    <payload_len u64> <seq u64> <payload_crc32 u32> <header_crc32 u32>
+    <payload: pickled {"relations": {name: (triples...)}}>
+
+appended to ``wal.log``.  Commit is a two-step protocol:
+
+1. the record is appended, flushed and ``fsync``'d — the batch's
+   content is durable, but not yet acknowledged;
+2. the ``COMMIT`` pointer file (JSON ``{"offset", "seq"}``) is
+   atomically replaced (tmp + fsync + rename, :func:`atomic_write_bytes`)
+   to cover the new record.
+
+Only after step 2 does the in-memory store swap happen, so a query can
+never observe state the log would not reproduce.
+
+Recovery scans the log from the start and classifies what it finds:
+
+* a record that fails its CRC *inside* the committed region (before the
+  ``COMMIT`` offset) is real corruption → :class:`StoreCorruptionError`;
+* a fully-valid record *past* the pointer was durable before the crash
+  (step 1 completed) — it is promoted: replayed, and the pointer
+  repaired to cover it;
+* a torn tail (partial or CRC-failing bytes at the end) is a crash
+  between the two steps — it is truncated away and the store reopens in
+  the pre-batch state.
+
+Either way a batch is all-or-nothing: exactly the pre-batch or the
+post-batch state, never half of one.
+
+Records carry a monotonically increasing ``seq`` that survives
+snapshots; the manifest's ``wal_seq`` records the last sequence folded
+into segments, so recovery replays only ``seq > wal_seq``.
+
+Crash testing hooks: when ``REPRO_STORAGE_FAULT`` names one of the
+:data:`FAULT_POINTS`, the process hard-exits (``os._exit(137)``) at
+that point of the next :meth:`WriteAheadLog.append` — no ``atexit``, no
+buffers flushed beyond what the protocol already made durable.  This is
+how the recovery tests kill a writer mid-commit deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import struct
+import zlib
+from typing import Any, Iterable, Mapping
+
+from repro.errors import StoreCorruptionError, StorageError
+from repro.storage.fsutil import atomic_write_bytes, fsync_enabled
+
+__all__ = [
+    "FAULT_ENV",
+    "FAULT_POINTS",
+    "WriteAheadLog",
+    "scan_records",
+]
+
+#: payload byte length, sequence number, payload CRC32, header CRC32
+#: (of the preceding 20 bytes) — 24 bytes per record header.
+_RECORD = struct.Struct("<QQII")
+RECORD_HEADER_SIZE = _RECORD.size
+
+#: Environment hook: hard-exit the process at a named commit step.
+FAULT_ENV = "REPRO_STORAGE_FAULT"
+#: Valid fault points, in commit-protocol order.
+FAULT_POINTS = (
+    "wal-before-record",   # nothing written: clean pre-batch state
+    "wal-mid-record",      # torn tail: half a record on disk
+    "wal-before-sync",     # record written, not fsync'd: torn or whole
+    "wal-before-commit",   # record durable, pointer stale: promoted
+    "wal-after-commit",    # fully committed: post-batch state
+)
+
+
+def _fault(point: str) -> None:
+    if os.environ.get(FAULT_ENV) == point:
+        os._exit(137)
+
+
+def scan_records(raw: bytes) -> tuple[list[tuple[int, bytes]], int]:
+    """Parse a WAL image into its valid record prefix.
+
+    Returns ``(records, valid_end)`` where ``records`` is a list of
+    ``(seq, payload)`` and ``valid_end`` is the byte offset after the
+    last fully-valid record — everything beyond it is a torn tail (or
+    corruption, depending on where the commit pointer stands; the
+    caller decides).
+    """
+    records: list[tuple[int, bytes]] = []
+    off = 0
+    while off + RECORD_HEADER_SIZE <= len(raw):
+        header = raw[off : off + RECORD_HEADER_SIZE]
+        plen, seq, payload_crc, header_crc = _RECORD.unpack(header)
+        if header_crc != zlib.crc32(header[:-4]):
+            break
+        end = off + RECORD_HEADER_SIZE + plen
+        if plen > len(raw) - off - RECORD_HEADER_SIZE:
+            break
+        payload = raw[off + RECORD_HEADER_SIZE : end]
+        if zlib.crc32(payload) != payload_crc:
+            break
+        records.append((seq, payload))
+        off = end
+    return records, off
+
+
+class WriteAheadLog:
+    """The per-store WAL: ``wal.log`` + the ``COMMIT`` pointer file."""
+
+    LOG = "wal.log"
+    COMMIT = "COMMIT"
+
+    def __init__(self, wal_dir: str | os.PathLike) -> None:
+        self.dir = os.fspath(wal_dir)
+        os.makedirs(self.dir, exist_ok=True)
+        self.log_path = os.path.join(self.dir, self.LOG)
+        self.commit_path = os.path.join(self.dir, self.COMMIT)
+        self._fp: Any = None
+        #: Byte offset of the committed end of the log.
+        self.offset = 0
+        #: Sequence number the next :meth:`append` will use.
+        self.next_seq = 1
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+
+    def _read_pointer(self) -> tuple[int, int]:
+        try:
+            with open(self.commit_path, "rb") as fp:
+                data = json.loads(fp.read())
+            return int(data["offset"]), int(data["seq"])
+        except FileNotFoundError:
+            return 0, 0
+        except (ValueError, KeyError, TypeError) as exc:
+            raise StoreCorruptionError(
+                f"WAL commit pointer {self.commit_path} is unreadable: {exc}"
+            ) from exc
+
+    def recover(self, *, min_seq: int = 0) -> list[tuple[int, dict]]:
+        """Repair the log and return the committed mutations to replay.
+
+        Promotes fully-durable records past a stale pointer, truncates
+        torn tails, and raises :class:`StoreCorruptionError` if bytes
+        *inside* the committed region fail their checksums.  Returns
+        ``(seq, mutations)`` pairs with ``seq > min_seq`` (older records
+        are already folded into segments), in log order.
+        """
+        committed, pointer_seq = self._read_pointer()
+        try:
+            with open(self.log_path, "rb") as fp:
+                raw = fp.read()
+        except FileNotFoundError:
+            raw = b""
+        records, valid_end = scan_records(raw)
+        if valid_end < committed:
+            raise StoreCorruptionError(
+                f"WAL {self.log_path} is corrupt: commit pointer covers "
+                f"{committed} bytes but only {valid_end} verify"
+            )
+        if valid_end < len(raw):
+            # Torn tail from a crash mid-append: drop it.
+            with open(self.log_path, "r+b") as fp:
+                fp.truncate(valid_end)
+                fp.flush()
+                if fsync_enabled():
+                    os.fsync(fp.fileno())
+        last_seq = max([pointer_seq, min_seq] + [seq for seq, _ in records])
+        if valid_end != committed or last_seq != pointer_seq:
+            # Promote durable-but-unacknowledged records into the pointer.
+            self._write_pointer(valid_end, last_seq)
+        self.offset = valid_end
+        self.next_seq = last_seq + 1
+        out: list[tuple[int, dict]] = []
+        for seq, payload in records:
+            if seq <= min_seq:
+                continue
+            try:
+                out.append((seq, pickle.loads(payload)))
+            except Exception as exc:
+                raise StoreCorruptionError(
+                    f"WAL record seq={seq} in {self.log_path} fails to "
+                    f"decode: {exc}"
+                ) from exc
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Commit path
+    # ------------------------------------------------------------------ #
+
+    def _write_pointer(self, offset: int, seq: int) -> None:
+        atomic_write_bytes(
+            self.commit_path,
+            json.dumps({"offset": offset, "seq": seq}).encode("ascii"),
+        )
+
+    def _file(self):
+        if self._fp is None or self._fp.closed:
+            self._fp = open(self.log_path, "ab")
+            if self._fp.tell() != self.offset:  # pragma: no cover — foreign writes
+                raise StorageError(
+                    f"WAL {self.log_path} is {self._fp.tell()} bytes on disk "
+                    f"but {self.offset} committed; reopen the store to recover"
+                )
+        return self._fp
+
+    def append(self, mutations: Mapping[str, Iterable[tuple]]) -> int:
+        """Durably commit one mutation batch; returns its sequence number.
+
+        ``mutations`` maps relation names to their new triple sets, in
+        application order.  The record is fsync'd before the commit
+        pointer moves (see the module docstring for the protocol).
+        """
+        seq = self.next_seq
+        payload = pickle.dumps(
+            {"relations": {name: tuple(triples) for name, triples in mutations.items()}},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        header = _RECORD.pack(len(payload), seq, zlib.crc32(payload), 0)[:-4]
+        record = header + struct.pack("<I", zlib.crc32(header)) + payload
+        _fault("wal-before-record")
+        fp = self._file()
+        if os.environ.get(FAULT_ENV) == "wal-mid-record":
+            fp.write(record[: RECORD_HEADER_SIZE + len(payload) // 2])
+            fp.flush()
+            os._exit(137)
+        fp.write(record)
+        fp.flush()
+        _fault("wal-before-sync")
+        if fsync_enabled():
+            os.fsync(fp.fileno())
+        _fault("wal-before-commit")
+        self.offset += len(record)
+        self._write_pointer(self.offset, seq)
+        _fault("wal-after-commit")
+        self.next_seq = seq + 1
+        return seq
+
+    @property
+    def size(self) -> int:
+        """Committed log size in bytes (the compaction trigger input)."""
+        return self.offset
+
+    def reset(self, seq: int) -> None:
+        """Empty the log after its records were folded into segments.
+
+        ``seq`` is the last folded sequence number; it is preserved in
+        the pointer so sequence numbers stay monotonic across snapshots.
+        """
+        if self._fp is not None and not self._fp.closed:
+            self._fp.close()
+        self._fp = None
+        with open(self.log_path, "ab"):
+            pass  # ensure it exists before truncating
+        with open(self.log_path, "r+b") as fp:
+            fp.truncate(0)
+            fp.flush()
+            if fsync_enabled():
+                os.fsync(fp.fileno())
+        self.offset = 0
+        self._write_pointer(0, seq)
+        self.next_seq = seq + 1
+
+    def close(self) -> None:
+        if self._fp is not None and not self._fp.closed:
+            self._fp.close()
+        self._fp = None

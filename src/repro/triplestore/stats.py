@@ -20,7 +20,7 @@ cost estimates are still well-defined, just unanchored.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard, typing only
     from repro.triplestore.model import Triplestore
@@ -79,6 +79,20 @@ class TriplestoreStats:
         stats = RelationStats(name, len(triples), distinct)  # type: ignore[arg-type]
         self._cache[name] = stats
         return stats
+
+    def computed(self) -> dict[str, RelationStats]:
+        """Snapshot of the statistics computed so far (persisted by the
+        durable-store catalog at close time)."""
+        return dict(self._cache)
+
+    def seed(self, entries: "Iterable[RelationStats]") -> None:
+        """Prefill the cache — warm reopen from a persisted catalog.
+
+        Seeded entries are trusted as-is; the durable-store catalog only
+        offers entries whose relation version still matches.
+        """
+        for stats in entries:
+            self._cache[stats.name] = stats
 
     # -- tolerant accessors used by the planner ------------------------ #
 

@@ -267,6 +267,75 @@ def test_err_map_clean_fixture(tmp_path):
     assert run_lint(tmp_path) == []
 
 
+def test_stor_atomic_bare_write(tmp_path):
+    write_tree(tmp_path, {"src/repro/storage/bad.py": """\
+        def save(path, data):
+            with open(path, "wb") as fp:
+                fp.write(data)
+    """})
+    findings = run_lint(tmp_path)
+    assert rules_of(findings) == ["STOR-ATOMIC"]
+    assert findings[0].path == "src/repro/storage/bad.py"
+
+
+def test_stor_atomic_bare_replace(tmp_path):
+    write_tree(tmp_path, {"src/repro/storage/swap.py": """\
+        import os
+
+
+        def promote(tmp, final):
+            os.replace(tmp, final)
+    """})
+    findings = run_lint(tmp_path)
+    assert rules_of(findings) == ["STOR-ATOMIC"]
+    assert "os.replace" in findings[0].message or "fsync" in findings[0].message
+
+
+def test_stor_atomic_satisfied_by_fsync_and_rename(tmp_path):
+    write_tree(tmp_path, {"src/repro/storage/good.py": """\
+        import os
+
+
+        def save(path, data):
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as fp:
+                fp.write(data)
+                fp.flush()
+                os.fsync(fp.fileno())
+            os.replace(tmp, path)
+    """})
+    assert run_lint(tmp_path) == []
+
+
+def test_stor_atomic_satisfied_by_helper(tmp_path):
+    write_tree(tmp_path, {"src/repro/storage/helper.py": """\
+        from repro.storage.fsutil import atomic_write_bytes
+
+
+        def save(path, data):
+            atomic_write_bytes(path, data)
+    """})
+    assert run_lint(tmp_path) == []
+
+
+def test_stor_atomic_append_mode_exempt(tmp_path):
+    write_tree(tmp_path, {"src/repro/storage/log.py": """\
+        def append(path, data):
+            with open(path, "ab") as fp:
+                fp.write(data)
+    """})
+    assert run_lint(tmp_path) == []
+
+
+def test_stor_atomic_not_scoped_outside_storage(tmp_path):
+    write_tree(tmp_path, {"src/repro/elsewhere.py": """\
+        def save(path, data):
+            with open(path, "wb") as fp:
+                fp.write(data)
+    """})
+    assert run_lint(tmp_path) == []
+
+
 # --------------------------------------------------------------------- #
 # Filtering, ordering, discovery
 # --------------------------------------------------------------------- #

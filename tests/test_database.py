@@ -254,3 +254,31 @@ class TestConstructors:
         # The default engine depends on the session backend (REPRO_BACKEND).
         assert type(db.engine).__name__ in repr(db)
         assert f"backend={db.backend}" in repr(db)
+
+
+class TestClose:
+    def test_double_close_is_noop(self, db):
+        db.close()
+        db.close()
+
+    def test_close_runs_hooks_once(self, db):
+        calls = []
+        db.add_close_hook(lambda _db: calls.append(1))
+        db.close()
+        db.close()
+        assert calls == [1]
+
+    def test_close_after_failed_init_is_noop(self):
+        # A Database that never finished __init__ (e.g. bad arguments)
+        # must still close without raising — __del__-style cleanup paths
+        # call close() on partially-constructed objects.
+        shell = object.__new__(Database)
+        shell.close()
+
+    def test_close_after_failed_open_is_noop(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Database.open(str(tmp_path / "missing.tstore"))
+        # Nothing leaked: a fresh in-memory database still works.
+        db = Database(figure1())
+        db.query("E")
+        db.close()

@@ -1,0 +1,538 @@
+"""The durable storage layer: segments, WAL, snapshots, catalog, CLI."""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.db import Database
+from repro.errors import ReproError, StoreCorruptionError
+from repro.rdf.datasets import figure1
+from repro.storage import DurableStore, SegmentStore, WriteAheadLog, fsck_store
+from repro.storage.catalog import load_plans, load_stats, save_catalog
+from repro.storage.fsutil import atomic_write_bytes
+from repro.storage.segments import (
+    KIND_INT64,
+    KIND_PICKLE,
+    map_segment,
+    open_store_segments,
+    read_segment,
+    verify_segment,
+    write_segment,
+    write_store_segments,
+)
+from repro.triplestore.columnar import ColumnarStore
+from repro.triplestore.model import Triplestore
+from repro.triplestore.io import dumps as io_dumps, loads as io_loads
+
+TRIPLES = (("a", "p", "b"), ("b", "p", "c"), ("c", "q", "d"))
+Q = "join[1,2,3'; 3=1'](E, E)"
+
+
+def make_store():
+    return Triplestore(TRIPLES, rho={"a": 1, "b": None, "p": "label"})
+
+
+# --------------------------------------------------------------------- #
+# Segment files
+# --------------------------------------------------------------------- #
+
+
+class TestSegmentFiles:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "x.seg"
+        payload = b"\x01\x02\x03\x04" * 10
+        crc = write_segment(path, KIND_PICKLE, payload)
+        assert read_segment(path, expect_kind=KIND_PICKLE) == payload
+        assert verify_segment(path) == []
+        assert isinstance(crc, int)
+        assert not os.path.exists(str(path) + ".tmp")
+
+    def test_int64_mmap_is_zero_copy_view(self, tmp_path):
+        path = tmp_path / "a.seg"
+        arr = np.arange(7, dtype=np.int64)
+        write_segment(path, KIND_INT64, arr.tobytes())
+        view, mapped = map_segment(path)
+        assert view.tolist() == list(range(7))
+        assert view.base is not None  # a view over the mapping, not a copy
+        del view
+        mapped.close()
+
+    def test_empty_payload(self, tmp_path):
+        path = tmp_path / "e.seg"
+        write_segment(path, KIND_INT64, b"")
+        view, mapped = map_segment(path)
+        assert len(view) == 0
+        del view
+        mapped.close()
+
+    def test_corrupt_payload_detected(self, tmp_path):
+        path = tmp_path / "c.seg"
+        write_segment(path, KIND_INT64, np.arange(8, dtype=np.int64).tobytes())
+        with open(path, "r+b") as fp:
+            fp.seek(40)
+            fp.write(b"\xff")
+        assert verify_segment(path)
+        with pytest.raises(StoreCorruptionError):
+            read_segment(path)
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "t.seg"
+        write_segment(path, KIND_INT64, np.arange(8, dtype=np.int64).tobytes())
+        with open(path, "r+b") as fp:
+            fp.truncate(40)
+        with pytest.raises(StoreCorruptionError):
+            map_segment(path)
+
+    def test_bad_magic_detected(self, tmp_path):
+        path = tmp_path / "m.seg"
+        write_segment(path, KIND_INT64, b"")
+        with open(path, "r+b") as fp:
+            fp.write(b"NOTASEGM")
+        with pytest.raises(StoreCorruptionError):
+            read_segment(path)
+
+
+class TestStoreSegments:
+    def test_roundtrip_preserves_store(self, tmp_path):
+        store = make_store().with_relation("R", ((("x", "y", "z"),)))
+        block = write_store_segments(store, tmp_path / "gen")
+        reopened = open_store_segments(tmp_path / "gen", block)
+        assert isinstance(reopened, SegmentStore)
+        assert reopened == store
+        assert reopened.rho_map() == store.rho_map()
+        assert reopened.relation_names == store.relation_names
+
+    def test_figure1_roundtrip(self, tmp_path):
+        store = figure1()
+        block = write_store_segments(store, tmp_path / "gen")
+        assert open_store_segments(tmp_path / "gen", block) == store
+
+    def test_empty_store(self, tmp_path):
+        store = Triplestore()
+        block = write_store_segments(store, tmp_path / "gen")
+        reopened = open_store_segments(tmp_path / "gen", block)
+        assert reopened == store
+        assert len(reopened) == 0
+
+    def test_lazy_contains_and_len(self, tmp_path):
+        store = make_store()
+        block = write_store_segments(store, tmp_path / "gen")
+        reopened = open_store_segments(tmp_path / "gen", block)
+        # __len__ and __contains__ work off the arrays, no decode
+        assert len(reopened) == len(TRIPLES)
+        assert ("a", "p", "b") in reopened
+        assert ("a", "p", "zzz") not in reopened
+        assert reopened._relations["E"] is None  # still undecoded
+        assert reopened.relation("E") == store.relation("E")
+
+    def test_columnar_view_is_mapped(self, tmp_path):
+        store = make_store()
+        block = write_store_segments(store, tmp_path / "gen")
+        reopened = open_store_segments(tmp_path / "gen", block)
+        cs = reopened.columnar()
+        assert isinstance(cs, ColumnarStore)
+        assert not cs.relation_keys("E").flags.owndata  # mmap-backed view
+        assert cs.relation_keys("E").tolist() == store.columnar().relation_keys(
+            "E"
+        ).tolist()
+
+    def test_mutation_returns_plain_store(self, tmp_path):
+        store = make_store()
+        block = write_store_segments(store, tmp_path / "gen")
+        reopened = open_store_segments(tmp_path / "gen", block)
+        grown = reopened.with_relation("N", (("n", "m", "o"),))
+        assert type(grown) is Triplestore
+        assert grown.relation("N") == frozenset({("n", "m", "o")})
+
+
+# --------------------------------------------------------------------- #
+# WAL
+# --------------------------------------------------------------------- #
+
+
+class TestWal:
+    def test_append_recover_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append({"E": TRIPLES})
+        wal.append({"R": (("x", "y", "z"),)})
+        wal.close()
+        records = WriteAheadLog(tmp_path / "wal").recover()
+        assert [seq for seq, _ in records] == [1, 2]
+        assert records[0][1]["relations"]["E"] == TRIPLES
+
+    def test_min_seq_filters_folded_records(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append({"E": TRIPLES})
+        wal.append({"R": ()})
+        wal.close()
+        records = WriteAheadLog(tmp_path / "wal").recover(min_seq=1)
+        assert [seq for seq, _ in records] == [2]
+
+    def test_torn_tail_truncated(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append({"E": TRIPLES})
+        wal.close()
+        with open(wal.log_path, "ab") as fp:
+            fp.write(b"torn-half-record")
+        fresh = WriteAheadLog(tmp_path / "wal")
+        assert [s for s, _ in fresh.recover()] == [1]
+        assert os.path.getsize(fresh.log_path) == fresh.offset
+
+    def test_corruption_inside_committed_region_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append({"E": TRIPLES})
+        wal.close()
+        with open(wal.log_path, "r+b") as fp:
+            fp.seek(30)
+            fp.write(b"\xff\xff")
+        with pytest.raises(StoreCorruptionError):
+            WriteAheadLog(tmp_path / "wal").recover()
+
+    def test_durable_record_past_stale_pointer_promoted(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append({"E": TRIPLES})
+        pointer = json.loads(open(wal.commit_path, "rb").read())
+        wal.append({"R": ()})
+        wal.close()
+        # Roll the pointer back to simulate a crash between record fsync
+        # and pointer replace: the second record must be promoted.
+        atomic_write_bytes(wal.commit_path, json.dumps(pointer).encode())
+        fresh = WriteAheadLog(tmp_path / "wal")
+        assert [s for s, _ in fresh.recover()] == [1, 2]
+        assert fresh.next_seq == 3
+
+    def test_reset_preserves_sequence(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append({"E": TRIPLES})
+        wal.append({"R": ()})
+        wal.reset(2)
+        assert wal.size == 0
+        assert wal.append({"S": ()}) == 3
+        wal.close()
+
+
+# --------------------------------------------------------------------- #
+# DurableStore manager
+# --------------------------------------------------------------------- #
+
+
+class TestDurableStore:
+    def test_fresh_directory_initialised(self, tmp_path):
+        ds = DurableStore(tmp_path / "s")
+        store = ds.open()
+        assert store == Triplestore()
+        assert os.path.exists(ds.manifest_path)
+        assert fsck_store(ds.root) == []
+        ds.close()
+
+    def test_wal_replay_on_open(self, tmp_path):
+        ds = DurableStore(tmp_path / "s")
+        ds.open()
+        ds.commit({"E": TRIPLES})
+        ds.close()
+        ds2 = DurableStore(tmp_path / "s")
+        store = ds2.open()
+        assert store.relation("E") == frozenset(TRIPLES)
+        assert ds2.rel_versions == {"E": 1}
+        assert ds2.store_version == 1
+        ds2.close()
+
+    def test_snapshot_folds_and_sweeps(self, tmp_path):
+        ds = DurableStore(tmp_path / "s")
+        store = ds.open()
+        ds.commit({"E": TRIPLES})
+        store = store.with_relation("E", TRIPLES)
+        ds.snapshot(store, {"E": 1}, 1)
+        assert ds.wal.size == 0
+        gens = glob.glob(str(tmp_path / "s" / "segments" / "gen-*"))
+        assert len(gens) == 1  # the old generation was swept
+        ds.close()
+        ds2 = DurableStore(tmp_path / "s")
+        reopened = ds2.open()
+        assert isinstance(reopened, SegmentStore)
+        assert reopened == store
+        assert ds2.rel_versions == {"E": 1}
+        ds2.close()
+
+    def test_missing_segment_is_corruption(self, tmp_path):
+        ds = DurableStore(tmp_path / "s")
+        ds.open()
+        ds.close()
+        seg = glob.glob(str(tmp_path / "s" / "segments" / "gen-*" / "meta.seg"))[0]
+        os.unlink(seg)
+        with pytest.raises(StoreCorruptionError):
+            DurableStore(tmp_path / "s").open()
+
+    def test_bad_manifest_is_corruption(self, tmp_path):
+        ds = DurableStore(tmp_path / "s")
+        ds.open()
+        ds.close()
+        with open(ds.manifest_path, "w") as fp:
+            fp.write("{not json")
+        with pytest.raises(StoreCorruptionError):
+            DurableStore(tmp_path / "s").open()
+
+
+# --------------------------------------------------------------------- #
+# Database integration
+# --------------------------------------------------------------------- #
+
+
+class TestDatabasePath:
+    def test_batch_commit_and_reopen(self, tmp_path):
+        db = Database(path=tmp_path / "s")
+        with db.batch():
+            db.install("E", TRIPLES)
+        expected = db.query(Q).to_set()
+        db.close()
+        db2 = Database(path=tmp_path / "s")
+        assert db2.query(Q).to_set() == expected
+        assert isinstance(db2.store, SegmentStore)
+        db2.close()
+
+    def test_store_and_path_are_exclusive(self, tmp_path):
+        with pytest.raises(ReproError):
+            Database(Triplestore(), path=tmp_path / "s")
+        with pytest.raises(ReproError):
+            Database()
+
+    def test_warm_plan_cache_hits_on_first_query(self, tmp_path):
+        db = Database(path=tmp_path / "s")
+        db.install("E", TRIPLES)
+        db.query(Q).to_set()
+        assert db.cache_info()["plans"].hits == 0
+        db.close()
+        db2 = Database(path=tmp_path / "s")
+        db2.query(Q).to_set()
+        assert db2.cache_info()["plans"].hits == 1
+        db2.close()
+
+    def test_warm_stats_on_reopen(self, tmp_path):
+        db = Database(path=tmp_path / "s")
+        db.install("E", TRIPLES)
+        db.store.stats().relation("E")  # compute so close persists it
+        db.close()
+        db2 = Database(path=tmp_path / "s")
+        computed = db2.store.stats().computed()
+        assert computed["E"].cardinality == len(TRIPLES)
+        db2.close()
+
+    def test_mutation_invalidates_persisted_plans(self, tmp_path):
+        db = Database(path=tmp_path / "s")
+        db.install("E", TRIPLES)
+        db.query(Q).to_set()
+        db.close()
+        db2 = Database(path=tmp_path / "s")
+        db2.install("E", TRIPLES + (("d", "p", "e"),))
+        db2.query(Q).to_set()
+        assert db2.cache_info()["plans"].hits == 0  # token aged out
+        assert ("c", "p", "e") not in db2.query(Q).to_set()
+        db2.close()
+
+    def test_all_backends_serve_from_segments(self, tmp_path):
+        db = Database(path=tmp_path / "s")
+        db.install("E", TRIPLES)
+        expected = db.query(Q).to_set()
+        db.close()
+        for backend in ("set", "columnar", "sharded"):
+            db2 = Database(path=tmp_path / "s", backend=backend)
+            assert db2.query(Q).to_set() == expected, backend
+            db2.close()
+
+    def test_open_classmethod_detects_directories(self, tmp_path):
+        db = Database(path=tmp_path / "s")
+        db.install("E", TRIPLES)
+        db.close()
+        db2 = Database.open(str(tmp_path / "s"))
+        assert db2._storage is not None
+        assert db2.query(Q).to_set()
+        db2.close()
+
+    def test_auto_compaction_on_wal_limit(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORAGE_WAL_LIMIT", "64")
+        db = Database(path=tmp_path / "s")
+        db.install("E", TRIPLES)
+        db.install("R", (("x", "y", "z"),))
+        assert db._storage.wal.size == 0  # folded automatically
+        assert db._storage.generation > 1
+        db.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        db = Database(path=tmp_path / "s")
+        db.install("E", TRIPLES)
+        db.close()
+        db.close()  # second close is a no-op
+        # still queryable afterwards, and durable commits still work
+        db.install("R", (("x", "y", "z"),))
+        db.close()
+        db2 = Database(path=tmp_path / "s")
+        assert "R" in db2.store.relation_names
+        db2.close()
+
+    def test_close_after_failed_open_is_noop(self, tmp_path):
+        store_file = tmp_path / "s"
+        db = Database(path=store_file)
+        db.close()
+        # Engine/backend contradiction raises *after* the durable open;
+        # __del__ then closes the partially-constructed object.
+        with pytest.raises(ReproError):
+            Database(path=store_file, backend="nope")
+        # The store stays healthy and reopenable.
+        assert fsck_store(str(store_file)) == []
+        db2 = Database(path=store_file)
+        db2.close()
+
+
+# --------------------------------------------------------------------- #
+# Catalog
+# --------------------------------------------------------------------- #
+
+
+class TestCatalog:
+    def test_corrupt_catalog_is_ignored_at_open(self, tmp_path):
+        db = Database(path=tmp_path / "s")
+        db.install("E", TRIPLES)
+        db.query(Q).to_set()
+        db.close()
+        for name in ("stats.json", "plans.bin"):
+            with open(tmp_path / "s" / "catalog" / name, "wb") as fp:
+                fp.write(b"\x00garbage")
+        findings = fsck_store(tmp_path / "s")
+        assert {f.rule for f in findings} == {"STOR-CATALOG"}
+        db2 = Database(path=tmp_path / "s")  # opens cold, not an error
+        assert db2.cache_info()["plans"].size == 0
+        assert db2.query(Q).to_set()
+        db2.close()
+
+    def test_other_backend_plans_survive_a_close(self, tmp_path):
+        db = Database(path=tmp_path / "s")
+        db.install("E", TRIPLES)
+        db.query(Q).to_set()
+        db.close()
+        dbc = Database(path=tmp_path / "s", backend="columnar")
+        dbc.query(Q).to_set()
+        dbc.close()
+        dbs = Database(path=tmp_path / "s")
+        dbs.query(Q).to_set()
+        assert dbs.cache_info()["plans"].hits == 1
+        dbs.close()
+
+    def test_stale_plan_format_ignored(self, tmp_path):
+        db = Database(path=tmp_path / "s")
+        db.install("E", TRIPLES)
+        db.query(Q).to_set()
+        db.close()
+        plans = tmp_path / "s" / "catalog" / "plans.bin"
+        doc = pickle.loads(plans.read_bytes())
+        doc["format"] = 999
+        atomic_write_bytes(plans, pickle.dumps(doc))
+        db2 = Database(path=tmp_path / "s")
+        assert load_plans(tmp_path / "s", db2) == 0
+        db2.close()
+
+
+# --------------------------------------------------------------------- #
+# fsck + CLI
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def durable_store(tmp_path):
+    root = tmp_path / "store"
+    db = Database(path=root)
+    db.install("E", TRIPLES)
+    db.close()
+    return str(root)
+
+
+class TestFsckCli:
+    def test_fsck_healthy_exit_zero(self, durable_store, capsys):
+        assert cli_main(["fsck", durable_store]) == 0
+        assert "healthy" in capsys.readouterr().out
+
+    def test_fsck_corrupt_exit_nonzero_with_report(self, durable_store, capsys):
+        seg = glob.glob(os.path.join(durable_store, "segments", "gen-*", "rel-*.seg"))[0]
+        with open(seg, "r+b") as fp:
+            fp.seek(36)
+            fp.write(b"\xde\xad")
+        assert cli_main(["fsck", durable_store]) == 1
+        assert "STOR-SEGMENT" in capsys.readouterr().out
+
+    def test_fsck_json_is_structured(self, durable_store, capsys):
+        seg = glob.glob(os.path.join(durable_store, "segments", "gen-*", "rel-*.seg"))[0]
+        with open(seg, "r+b") as fp:
+            fp.seek(36)
+            fp.write(b"\xde\xad")
+        assert cli_main(["fsck", durable_store, "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report and report[0]["rule"] == "STOR-SEGMENT"
+        assert report[0]["path"].endswith(".seg")
+
+    def test_fsck_non_store_directory(self, tmp_path, capsys):
+        assert cli_main(["fsck", str(tmp_path)]) == 1
+        assert "STOR-MANIFEST" in capsys.readouterr().out
+
+    def test_compact_subcommand(self, durable_store):
+        db = Database(path=durable_store)
+        db.install("R", (("x", "y", "z"),))
+        db.close()
+        assert cli_main(["compact", durable_store]) == 0
+        assert cli_main(["fsck", durable_store]) == 0
+
+    def test_info_reads_durable_directories(self, durable_store, capsys):
+        assert cli_main(["info", durable_store]) == 0
+        assert "triples:   3" in capsys.readouterr().out
+
+
+class TestDumpCli:
+    def test_dump_roundtrips_through_io_format(self, durable_store, capsys):
+        assert cli_main(["dump", durable_store]) == 0
+        text = capsys.readouterr().out
+        reloaded = io_loads(text)
+        db = Database(path=durable_store)
+        assert reloaded == db.store
+        db.close()
+
+    def test_dump_to_file_and_back(self, durable_store, tmp_path, capsys):
+        out = tmp_path / "export.tstore"
+        assert cli_main(["dump", durable_store, "-o", str(out)]) == 0
+        reloaded = io_loads(out.read_text())
+        assert reloaded.relation("E") == frozenset(TRIPLES)
+
+    def test_dump_reads_text_stores_too(self, tmp_path, capsys):
+        src = tmp_path / "plain.tstore"
+        src.write_text(io_dumps(make_store()))
+        assert cli_main(["dump", str(src)]) == 0
+        # The text format drops None-valued rho entries, so compare
+        # against the io-normalized form of the same store.
+        assert io_loads(capsys.readouterr().out) == io_loads(io_dumps(make_store()))
+
+
+class TestServeStorePath:
+    def test_serve_requires_some_store(self, capsys):
+        assert cli_main(["serve"]) == 1
+        assert "store" in capsys.readouterr().err
+
+    def test_store_path_env_names_default_tenant(self, durable_store, monkeypatch):
+        import argparse
+
+        from repro.cli import _serve_tenants
+
+        monkeypatch.setenv("REPRO_STORE_PATH", durable_store)
+        args = argparse.Namespace(
+            store=None, store_path=None, tenant=None, backend=None,
+            shards=None, executor=None, workers=None,
+        )
+        tenants = _serve_tenants(args)
+        try:
+            assert tenants["default"].query(Q).to_set()
+        finally:
+            for db in tenants.values():
+                db.close()
